@@ -1,0 +1,132 @@
+package ulba
+
+import (
+	"ulba/internal/erosion"
+	"ulba/internal/instance"
+	"ulba/internal/lb"
+	"ulba/internal/model"
+	"ulba/internal/mpisim"
+	"ulba/internal/schedule"
+	"ulba/internal/simulate"
+)
+
+// Analytic model (Section II, III of the paper).
+
+// ModelParams are the application parameters of Table I. Methods provide
+// the paper's equations: Wtot (Eq. 1), StdIterTime (Eq. 2), ULBAIterTime
+// (Eq. 5), SigmaMinus (Eq. 8), SigmaPlus (Eq. 12), MenonTau, CostImbalance
+// (Eq. 10) and CostOverhead (Eq. 11).
+type ModelParams = model.Params
+
+// Schedule is a strictly increasing list of iterations at which the load
+// balancer runs.
+type Schedule = schedule.Schedule
+
+// ErrNoOverload is returned by interval computations when no PE overloads
+// (m = 0 or N = 0): the optimal LB interval is unbounded.
+var ErrNoOverload = model.ErrNoOverload
+
+// StandardTotalTime evaluates the standard LB method on its Menon schedule:
+// Eq. 2 in Eqs. 3-4, with LB steps every sqrt(2*C*omega/m^) iterations.
+func StandardTotalTime(p ModelParams) float64 {
+	return simulate.StandardTime(p)
+}
+
+// ULBATotalTime evaluates ULBA at the given alpha on its sigma+ schedule:
+// Eq. 5 in Eqs. 3-4, with LB steps every sigma+ iterations.
+func ULBATotalTime(p ModelParams, alpha float64) float64 {
+	return simulate.ULBATimeAt(p, alpha)
+}
+
+// BestAlpha scans gridSize alphas uniformly spread over [0, 1] and returns
+// the one minimizing the ULBA total time, together with that time. The grid
+// always contains 0, so the result can never lose to the standard method.
+func BestAlpha(p ModelParams, gridSize int) (alpha, totalTime float64) {
+	return simulate.BestAlpha(p, simulate.AlphaGrid(gridSize))
+}
+
+// SigmaPlusSchedule builds the paper's proposed LB schedule: after each LB
+// step, the next one happens sigma+ iterations later.
+func SigmaPlusSchedule(p ModelParams) Schedule {
+	return schedule.EverySigmaPlus(p)
+}
+
+// MenonSchedule builds the standard method's schedule (sigma+ at alpha = 0).
+func MenonSchedule(p ModelParams) Schedule {
+	return schedule.Menon(p)
+}
+
+// AnnealSchedule searches for a near-optimal schedule with simulated
+// annealing over all 2^gamma LB schedules, the heuristic the paper validates
+// sigma+ against (Fig. 2).
+func AnnealSchedule(p ModelParams, steps int, seed uint64) Schedule {
+	return simulate.AnnealSchedule(p, steps, seed)
+}
+
+// EvaluateSchedule returns the total parallel time of an arbitrary schedule
+// under ULBA semantics (alpha = 0 recovers the standard method exactly).
+func EvaluateSchedule(p ModelParams, s Schedule) float64 {
+	return schedule.TotalTimeULBA(p, s)
+}
+
+// SampleInstances draws n random application instances following Table II.
+func SampleInstances(seed uint64, n int) []ModelParams {
+	return instance.NewGenerator(seed).SampleMany(n)
+}
+
+// Application runtime (Section IV-B).
+
+// AppConfig describes one fluid-with-erosion application instance.
+type AppConfig = erosion.Config
+
+// CostModel fixes the virtual-time costs of the simulated cluster.
+type CostModel = mpisim.CostModel
+
+// RunConfig parameterizes one application run under a LB method.
+type RunConfig = lb.Config
+
+// RunResult is the measured outcome of one application run.
+type RunResult = lb.Result
+
+// Method selects the LB method.
+type Method = lb.Method
+
+// Methods.
+const (
+	// Standard is the standard LB method with the adaptive trigger of
+	// Zhai et al.
+	Standard = lb.Standard
+	// ULBA underloads the PEs that anticipate overload.
+	ULBA = lb.ULBA
+)
+
+// DefaultAppConfig returns a laptop-scale erosion instance for p PEs with
+// the paper's geometry ratios.
+func DefaultAppConfig(p int) AppConfig {
+	return erosion.DefaultConfig(p)
+}
+
+// DefaultCostModel returns the reference cluster cost model.
+func DefaultCostModel() CostModel {
+	return mpisim.DefaultCostModel()
+}
+
+// DefaultRunConfig assembles a ready-to-run configuration for p PEs under
+// the given method with the paper's hyper-parameters (alpha = 0.4, z-score
+// threshold 3.0, adaptive degradation trigger).
+func DefaultRunConfig(p int, m Method) RunConfig {
+	return RunConfig{
+		App:             DefaultAppConfig(p),
+		Iterations:      120,
+		Cost:            DefaultCostModel(),
+		Method:          m,
+		Alpha:           0.4,
+		IncludeOverhead: true,
+	}
+}
+
+// Run executes the erosion application on simulated PEs under the
+// configured method. Runs are deterministic: same config, same result.
+func Run(cfg RunConfig) (RunResult, error) {
+	return lb.Run(cfg)
+}

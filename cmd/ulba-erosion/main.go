@@ -1,0 +1,131 @@
+// Command ulba-erosion runs the fluid-with-erosion application (Section
+// IV-B of the paper) on the simulated distributed-memory runtime under a
+// chosen load-balancing method and prints the measured timings, the LB call
+// history, and a terminal rendering of the PE-usage trace. With -compare it
+// runs both the standard method and ULBA on the identical instance (the
+// counter-based physics guarantee the same erosion either way) and reports
+// the gain.
+//
+// Examples:
+//
+//	ulba-erosion -P 32 -rocks 1 -alpha 0.4 -compare
+//	ulba-erosion -P 64 -method ulba -iters 200 -csv usage.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ulba/internal/experiments"
+	"ulba/internal/lb"
+	"ulba/internal/trace"
+)
+
+func main() {
+	var (
+		p       = flag.Int("P", 32, "number of PEs (= stripes = rocks)")
+		rocks   = flag.Int("rocks", 1, "number of strongly erodible rocks")
+		alpha   = flag.Float64("alpha", 0.4, "ULBA underloading fraction")
+		method  = flag.String("method", "ulba", "lb method: standard | ulba | none")
+		iters   = flag.Int("iters", 120, "iterations")
+		width   = flag.Int("stripewidth", 192, "columns per initial stripe")
+		height  = flag.Int("height", 400, "rows")
+		radius  = flag.Int("radius", 48, "rock disc radius (cells)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		zthr    = flag.Float64("z", 3.0, "overload z-score threshold")
+		compare = flag.Bool("compare", false, "run standard AND the chosen method, report the gain")
+		rcb     = flag.Bool("rcb", false, "use recursive bisection (standard method only)")
+		csvPath = flag.String("csv", "", "write per-iteration time/usage series to this CSV file")
+		plotW   = flag.Int("plotwidth", 100, "terminal width of the usage plots")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.StripeWidth = *width
+	scale.Height = *height
+	scale.Radius = *radius
+	scale.Iterations = *iters
+
+	build := func(m lb.Method) lb.Config {
+		cfg := scale.LBConfig(*p, *rocks, *seed, m, *alpha)
+		cfg.ZThreshold = *zthr
+		cfg.UseRCB = *rcb && m == lb.Standard
+		return cfg
+	}
+
+	var m lb.Method
+	noLB := false
+	switch *method {
+	case "standard":
+		m = lb.Standard
+	case "ulba":
+		m = lb.ULBA
+	case "none":
+		m = lb.Standard
+		noLB = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	cfg := build(m)
+	if noLB {
+		cfg.Trigger = lb.TriggerNever
+		cfg.WarmupLB = -1
+	}
+	res, err := lb.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: P=%d rocks=%d alpha=%.2f iters=%d domain=%dx%d\n",
+		*method, *p, *rocks, *alpha, *iters, cfg.App.Width(), cfg.App.Height)
+	fmt.Printf("total time      : %.6f s (virtual)\n", res.TotalTime)
+	fmt.Printf("mean PE usage   : %.3f\n", res.MeanUsage())
+	fmt.Printf("LB calls        : %d at %v\n", res.LBCount(), res.LBIters)
+	fmt.Printf("overloading/call: %v\n", res.LBOverloading)
+	fmt.Printf("avg LB cost     : %.6f s\n", res.AvgLBCost)
+	fmt.Printf("cells eroded    : %d (final workload %.0f units)\n", res.Eroded, res.FinalWorkload)
+	fmt.Println()
+	fmt.Print(trace.UsagePlot(*method, res.Usage, res.LBIters, *plotW))
+
+	if *compare {
+		stdRes, err := lb.Run(build(lb.Standard))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "standard run failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(trace.UsagePlot("standard", stdRes.Usage, stdRes.LBIters, *plotW))
+		fmt.Printf("\nstandard: %.6f s with %d LB calls\n", stdRes.TotalTime, stdRes.LBCount())
+		fmt.Printf("%-8s: %.6f s with %d LB calls\n", *method, res.TotalTime, res.LBCount())
+		fmt.Printf("gain: %+.2f%%\n", 100*(stdRes.TotalTime-res.TotalTime)/stdRes.TotalTime)
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+func writeCSV(path string, res lb.Result) error {
+	tb := trace.NewTable("iteration", "time_s", "usage")
+	for i := range res.IterTimes {
+		tb.AddStringRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.9f", res.IterTimes[i]),
+			fmt.Sprintf("%.6f", res.Usage[i]),
+		)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.WriteCSV(f)
+}

@@ -1,0 +1,139 @@
+// Command ulba-experiments regenerates every table and figure of the
+// paper's evaluation section at a chosen scale and prints them in the order
+// they appear in the paper. The output of this command is the source of the
+// measured numbers recorded in EXPERIMENTS.md.
+//
+// Examples:
+//
+//	ulba-experiments -all                 # default scale, everything
+//	ulba-experiments -fig4a -scale bench  # quick shape check
+//	ulba-experiments -fig2 -instances 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ulba/internal/experiments"
+	"ulba/internal/simulate"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		table1    = flag.Bool("table1", false, "print Table I")
+		table2    = flag.Bool("table2", false, "print Table II")
+		fig2      = flag.Bool("fig2", false, "run Fig. 2 (sigma+ vs annealing)")
+		fig3      = flag.Bool("fig3", false, "run Fig. 3 (gain vs overloading %)")
+		fig4a     = flag.Bool("fig4a", false, "run Fig. 4a (erosion performance grid)")
+		fig4b     = flag.Bool("fig4b", false, "run Fig. 4b (usage traces)")
+		fig5      = flag.Bool("fig5", false, "run Fig. 5 (alpha sweep)")
+		scaleName = flag.String("scale", "default", "erosion experiment scale: bench | default | paper")
+		instances = flag.Int("instances", 200, "instances for Fig. 2 / per bucket for Fig. 3 (paper: 1000)")
+		alphaGrid = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
+		pes       = flag.String("pes", "16,32,64", "comma-separated PE counts for Fig. 4a/5 (paper: 32,64,128,256)")
+		fig4bPE   = flag.Int("fig4b-pes", 32, "PE count for Fig. 4b (paper: 32)")
+		alpha     = flag.Float64("alpha", 0.4, "ULBA alpha for Fig. 4 (paper: 0.4)")
+		seed      = flag.Uint64("seed", 2019, "seed for the synthetic experiments")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the synthetic experiments")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *fig2, *fig3, *fig4a, *fig4b, *fig5 = true, true, true, true, true, true, true
+	}
+	if !(*table1 || *table2 || *fig2 || *fig3 || *fig4a || *fig4b || *fig5) {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all or individual experiment flags")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "bench":
+		scale = experiments.BenchScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	ps, err := parseInts(*pes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -pes:", err)
+		os.Exit(2)
+	}
+
+	section := func(name string, run func()) {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		run()
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *table1 {
+		section("Table I: model parameters", func() {
+			fmt.Print(experiments.RenderTable1())
+		})
+	}
+	if *table2 {
+		section("Table II: random application parameter distributions", func() {
+			fmt.Print(experiments.RenderTable2())
+		})
+	}
+	if *fig2 {
+		section(fmt.Sprintf("Fig. 2: sigma+ vs simulated annealing (%d instances)", *instances), func() {
+			res := simulate.RunFig2(simulate.Fig2Config{
+				Instances: *instances, Seed: *seed, Workers: *workers,
+			})
+			fmt.Print(experiments.RenderFig2(res))
+		})
+	}
+	if *fig3 {
+		section(fmt.Sprintf("Fig. 3: ULBA vs standard on the model (%d instances/bucket)", *instances), func() {
+			buckets := simulate.RunFig3(simulate.Fig3Config{
+				InstancesPerBucket: *instances, AlphaGridSize: *alphaGrid,
+				Seed: *seed, Workers: *workers,
+			})
+			fmt.Print(experiments.RenderFig3(buckets))
+		})
+	}
+	if *fig4a {
+		section(fmt.Sprintf("Fig. 4a: erosion application, standard vs ULBA (scale %s)", *scaleName), func() {
+			cells := experiments.RunFig4a(scale, ps, []int{1, 2, 3}, *alpha)
+			fmt.Print(experiments.RenderFig4a(cells))
+		})
+	}
+	if *fig4b {
+		section(fmt.Sprintf("Fig. 4b: PE usage traces, %d PEs, 1 strong rock", *fig4bPE), func() {
+			res := experiments.RunFig4b(scale, *fig4bPE, *alpha)
+			fmt.Print(experiments.RenderFig4b(res, 100))
+		})
+	}
+	if *fig5 {
+		section("Fig. 5: ULBA total time vs alpha (1 strong rock)", func() {
+			points := experiments.RunFig5(scale, ps, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			fmt.Print(experiments.RenderFig5(points))
+		})
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+// Command ulba-model evaluates the paper's analytic application model for a
+// given parameter set: the LB interval bounds sigma- and sigma+, Menon's
+// tau, the LB schedules both methods build, and the resulting total
+// parallel times of the standard method and ULBA.
+//
+// Example:
+//
+//	ulba-model -P 256 -N 25 -gamma 100 -w0 2.56e11 -growth 0.1 -skew 0.9 \
+//	           -alpha 0.5 -costfrac 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ulba/internal/experiments"
+	"ulba/internal/model"
+	"ulba/internal/schedule"
+	"ulba/internal/simulate"
+	"ulba/internal/trace"
+)
+
+func main() {
+	var (
+		p        = flag.Int("P", 256, "number of PEs")
+		n        = flag.Int("N", 25, "number of overloading PEs")
+		gamma    = flag.Int("gamma", 100, "iterations")
+		w0       = flag.Float64("w0", 2.56e11, "initial total workload (FLOP)")
+		growth   = flag.Float64("growth", 0.1, "workload growth per iteration as a fraction of W0/P")
+		skew     = flag.Float64("skew", 0.9, "fraction y of the growth concentrated on overloading PEs")
+		alpha    = flag.Float64("alpha", 0.5, "ULBA underloading fraction")
+		omega    = flag.Float64("omega", 1e9, "PE speed (FLOP/s)")
+		costfrac = flag.Float64("costfrac", 0.5, "LB cost as a fraction of one iteration's compute time")
+		grid     = flag.Int("bestalpha", 0, "if > 0, also scan this many alphas for the best one")
+		table1   = flag.Bool("table1", false, "print Table I (parameter glossary) and exit")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(experiments.RenderTable1())
+		return
+	}
+
+	params := model.Params{
+		P: *p, N: *n, Gamma: *gamma, W0: *w0, Omega: *omega, Alpha: *alpha,
+	}
+	params.DeltaW = *growth * params.W0 / float64(params.P)
+	params.A = params.DeltaW * (1 - *skew) / float64(params.P)
+	if *n > 0 {
+		params.M = params.DeltaW * *skew / float64(params.N)
+	}
+	params.C = *costfrac * params.W0 / (float64(params.P) * params.Omega)
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid parameters:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("parameters:", params)
+	fmt.Println()
+
+	tb := trace.NewTable("quantity", "value")
+	tb.AddStringRow("a^ (avg WIR)", fmt.Sprintf("%.6g FLOP/iter", params.AHat()))
+	tb.AddStringRow("m^ (extra WIR of most loaded)", fmt.Sprintf("%.6g FLOP/iter", params.MHat()))
+	if sm, err := params.SigmaMinus(0); err == nil {
+		tb.AddStringRow("sigma-(0)", fmt.Sprintf("%d iterations", sm))
+	} else {
+		tb.AddStringRow("sigma-(0)", err.Error())
+	}
+	if sp, err := params.SigmaPlus(0); err == nil {
+		tb.AddStringRow("sigma+(0)", fmt.Sprintf("%.2f iterations", sp))
+	} else {
+		tb.AddStringRow("sigma+(0)", err.Error())
+	}
+	if tau, err := params.WithAlpha(0).MenonTau(); err == nil {
+		tb.AddStringRow("Menon tau", fmt.Sprintf("%.2f iterations", tau))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+
+	stdSched := schedule.Menon(params)
+	ulbaSched := schedule.EverySigmaPlus(params)
+	fmt.Printf("standard schedule (%d calls): %v\n", stdSched.Count(), stdSched)
+	fmt.Printf("ULBA schedule     (%d calls): %v\n", ulbaSched.Count(), ulbaSched)
+	fmt.Println()
+
+	std := simulate.StandardTime(params)
+	ul := simulate.ULBATimeAt(params, params.Alpha)
+	fmt.Printf("standard method total time: %.6f s\n", std)
+	fmt.Printf("ULBA (alpha=%.2f) total time: %.6f s  (gain %+.2f%%)\n",
+		params.Alpha, ul, 100*(std-ul)/std)
+
+	if *grid > 0 {
+		a, best := simulate.BestAlpha(params, simulate.AlphaGrid(*grid))
+		fmt.Printf("best alpha of %d-grid: %.3f -> %.6f s (gain %+.2f%%)\n",
+			*grid, a, best, 100*(std-best)/std)
+	}
+}

@@ -1,0 +1,78 @@
+// Command ulba-synth runs the paper's synthetic model experiments:
+//
+//   - Fig. 2: the sigma+ schedule versus a simulated-annealing search over
+//     LB schedules, on random Table II instances;
+//   - Fig. 3: the theoretical gain of ULBA over the standard method as a
+//     function of the percentage of overloading PEs;
+//   - Table II: the random-instance distributions.
+//
+// Examples:
+//
+//	ulba-synth -fig2 -instances 1000
+//	ulba-synth -fig3 -instances 1000 -alphas 100
+//	ulba-synth -table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ulba/internal/experiments"
+	"ulba/internal/simulate"
+)
+
+func main() {
+	var (
+		fig2      = flag.Bool("fig2", false, "run the Fig. 2 experiment (sigma+ vs simulated annealing)")
+		fig3      = flag.Bool("fig3", false, "run the Fig. 3 experiment (gain vs overloading percentage)")
+		table2    = flag.Bool("table2", false, "print Table II")
+		instances = flag.Int("instances", 200, "instances per experiment (Fig. 2) or per bucket (Fig. 3); paper: 1000")
+		alphas    = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
+		steps     = flag.Int("annealsteps", 20000, "simulated annealing steps per instance (Fig. 2)")
+		seed      = flag.Uint64("seed", 2019, "random seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+	)
+	flag.Parse()
+
+	if !*fig2 && !*fig3 && !*table2 {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -fig2, -fig3 and/or -table2")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table2 {
+		fmt.Println("Table II: random application parameter distributions")
+		fmt.Print(experiments.RenderTable2())
+		fmt.Println()
+	}
+
+	if *fig2 {
+		start := time.Now()
+		res := simulate.RunFig2(simulate.Fig2Config{
+			Instances:   *instances,
+			AnnealSteps: *steps,
+			Seed:        *seed,
+			Workers:     *workers,
+		})
+		fmt.Printf("Fig. 2 (%d instances, %d annealing steps, %.1fs)\n",
+			*instances, *steps, time.Since(start).Seconds())
+		fmt.Print(experiments.RenderFig2(res))
+		fmt.Println()
+	}
+
+	if *fig3 {
+		start := time.Now()
+		buckets := simulate.RunFig3(simulate.Fig3Config{
+			InstancesPerBucket: *instances,
+			AlphaGridSize:      *alphas,
+			Seed:               *seed,
+			Workers:            *workers,
+		})
+		fmt.Printf("Fig. 3 (%d instances/bucket, %d-alpha grid, %.1fs)\n",
+			*instances, *alphas, time.Since(start).Seconds())
+		fmt.Print(experiments.RenderFig3(buckets))
+	}
+}

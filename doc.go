@@ -1,0 +1,36 @@
+// Package ulba reproduces "On the Benefits of Anticipating Load Imbalance
+// for Performance Optimization of Parallel Applications" (Boulmier, Raynaud,
+// Abdennadher, Chopard; IEEE CLUSTER 2019; arXiv:1909.07168).
+//
+// ULBA — the Underloading Load Balancing Approach — anticipates load
+// imbalance instead of merely reacting to it: processing elements whose
+// workload increase rate (WIR) is a statistical outlier receive less than
+// the even share at each load-balancing step, so the application rebalances
+// itself through its own dynamics before imbalance degrades performance
+// again.
+//
+// The package is a facade over the internal building blocks:
+//
+//   - the analytic application model of the paper (Eqs. 1-12): per-iteration
+//     times under the standard method and under ULBA, the LB-interval bounds
+//     sigma- and sigma+, and Menon's optimal interval tau;
+//   - LB schedules and their total-time evaluation (Eq. 4), plus a
+//     simulated-annealing schedule search (the paper's heuristic baseline);
+//   - the Table II random-instance generator and the synthetic experiment
+//     drivers of Figs. 2 and 3;
+//   - a simulated distributed-memory runtime (goroutine ranks, virtual
+//     clocks, Hockney cost model) standing in for MPI;
+//   - the fluid-with-erosion application of Section IV-B with its
+//     centralized stripe partitioner, gossip WIR dissemination, z-score
+//     overload detection, and the adaptive degradation trigger, runnable
+//     under the standard method or ULBA.
+//
+// Quick start:
+//
+//	cfg := ulba.DefaultRunConfig(32, ulba.ULBA)
+//	res, err := ulba.Run(cfg)
+//	// res.TotalTime, res.Usage, res.LBIters ...
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// per-experiment index.
+package ulba

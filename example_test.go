@@ -1,0 +1,77 @@
+package ulba_test
+
+import (
+	"fmt"
+
+	"ulba"
+)
+
+// ExampleModelParams demonstrates the analytic model on a hand-built
+// instance: 256 PEs of which 25 overload, with the LB cost worth half an
+// iteration of compute.
+func ExampleModelParams() {
+	p := ulba.ModelParams{
+		P: 256, N: 25, Gamma: 100,
+		W0: 2.56e11, Omega: 1e9, Alpha: 0.5,
+	}
+	p.DeltaW = 0.1 * p.W0 / float64(p.P)
+	p.A = p.DeltaW * 0.1 / float64(p.P)
+	p.M = p.DeltaW * 0.9 / float64(p.N)
+	p.C = 0.5 * p.W0 / (float64(p.P) * p.Omega)
+
+	sm, _ := p.SigmaMinus(0)
+	sp, _ := p.SigmaPlus(0)
+	tau, _ := p.WithAlpha(0).MenonTau()
+	fmt.Printf("sigma- = %d iterations\n", sm)
+	fmt.Printf("sigma+ = %.1f iterations\n", sp)
+	fmt.Printf("tau    = %.1f iterations\n", tau)
+	// Output:
+	// sigma- = 153 iterations
+	// sigma+ = 171.5 iterations
+	// tau    = 17.5 iterations
+}
+
+// ExampleBestAlpha shows that ULBA with a tuned alpha never loses to the
+// standard method on the analytic model (Fig. 3's headline invariant).
+func ExampleBestAlpha() {
+	p := ulba.SampleInstances(2019, 1)[0]
+	std := ulba.StandardTotalTime(p)
+	_, best := ulba.BestAlpha(p, 100)
+	fmt.Println("ULBA at its best alpha is at least as fast:", best <= std)
+	// Output:
+	// ULBA at its best alpha is at least as fast: true
+}
+
+// ExampleMenonSchedule builds the standard method's LB schedule for a
+// sampled instance and shows it is valid and non-empty.
+func ExampleMenonSchedule() {
+	p := ulba.SampleInstances(7, 1)[0]
+	s := ulba.MenonSchedule(p)
+	fmt.Println("valid:", s.Validate(p.Gamma) == nil)
+	fmt.Println("has LB calls:", s.Count() > 0)
+	// Output:
+	// valid: true
+	// has LB calls: true
+}
+
+// ExampleRun executes the erosion application under ULBA on a small
+// instance and prints invariants every run satisfies.
+func ExampleRun() {
+	cfg := ulba.DefaultRunConfig(8, ulba.ULBA)
+	cfg.App.StripeWidth = 48
+	cfg.App.Height = 100
+	cfg.App.Radius = 12
+	cfg.Iterations = 30
+	res, err := ulba.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed iterations:", len(res.IterTimes) == cfg.Iterations)
+	fmt.Println("made progress:", res.TotalTime > 0 && res.Eroded > 0)
+	fmt.Println("balancer ran:", res.LBCount() >= 1)
+	// Output:
+	// completed iterations: true
+	// made progress: true
+	// balancer ran: true
+}

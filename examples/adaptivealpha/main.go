@@ -1,0 +1,60 @@
+// Adaptivealpha demonstrates the paper's announced future work, implemented
+// here as an extension: choosing alpha at runtime from the estimated
+// fraction of overloading PEs instead of fixing it by hand. The adaptive
+// policy caps the projected ULBA overhead ratio alpha*N/(P-N) (Eq. 11), so
+// alpha is aggressive when few PEs overload and conservative when many do —
+// the relationship the paper extracts from Figs. 3 and 5.
+//
+//	go run ./examples/adaptivealpha
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ulba"
+)
+
+func main() {
+	const pes = 32
+
+	base := ulba.DefaultRunConfig(pes, ulba.ULBA)
+	base.App.StripeWidth = 128
+	base.App.Height = 256
+	base.App.Radius = 32
+	base.Iterations = 100
+
+	fmt.Printf("erosion application, %d PEs, %d strongly erodible rocks\n\n", pes, base.App.StrongRocks)
+	fmt.Printf("%-22s %12s %12s %9s\n", "policy", "time [s]", "mean usage", "LB calls")
+
+	for _, fixed := range []float64{0.1, 0.4, 0.9} {
+		cfg := base
+		cfg.Alpha = fixed
+		res, err := ulba.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %12.4f %12.3f %9d\n",
+			fmt.Sprintf("fixed alpha = %.1f", fixed), res.TotalTime, res.MeanUsage(), res.LBCount())
+	}
+
+	cfg := base
+	cfg.AdaptiveAlpha = true
+	res, err := ulba.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12.4f %12.3f %9d\n",
+		"adaptive (extension)", res.TotalTime, res.MeanUsage(), res.LBCount())
+
+	stdRes, err := ulba.Run(func() ulba.RunConfig {
+		c := base
+		c.Method = ulba.Standard
+		return c
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12.4f %12.3f %9d\n",
+		"standard (reference)", stdRes.TotalTime, stdRes.MeanUsage(), stdRes.LBCount())
+}

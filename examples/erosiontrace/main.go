@@ -1,0 +1,56 @@
+// Erosiontrace reproduces the Fig. 4b experiment as a terminal plot: the
+// average-PE-usage traces of the standard method and ULBA on the erosion
+// application, with markers at every LB call. ULBA sustains higher usage and
+// calls the balancer less often because the PEs feeding on the strongly
+// erodible rock were pre-emptively underloaded.
+//
+//	go run ./examples/erosiontrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ulba"
+	"ulba/internal/trace"
+)
+
+func main() {
+	const pes = 32
+
+	run := func(m ulba.Method) ulba.RunResult {
+		cfg := ulba.DefaultRunConfig(pes, m)
+		cfg.App.StripeWidth = 192
+		cfg.App.Height = 400
+		cfg.App.Radius = 48
+		cfg.Iterations = 120
+		res, err := ulba.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	std := run(ulba.Standard)
+	anticipating := run(ulba.ULBA)
+
+	fmt.Printf("average PE usage, %d PEs, 1 strongly erodible rock (cf. paper Fig. 4b)\n\n", pes)
+	fmt.Print(trace.UsagePlot(
+		fmt.Sprintf("standard: mean usage %.3f, %d LB calls at %v",
+			std.MeanUsage(), std.LBCount(), std.LBIters),
+		std.Usage, std.LBIters, 100))
+	fmt.Println()
+	fmt.Print(trace.UsagePlot(
+		fmt.Sprintf("ULBA:     mean usage %.3f, %d LB calls at %v",
+			anticipating.MeanUsage(), anticipating.LBCount(), anticipating.LBIters),
+		anticipating.Usage, anticipating.LBIters, 100))
+
+	saved := 0.0
+	if std.LBCount() > 0 {
+		saved = 100 * (1 - float64(anticipating.LBCount())/float64(std.LBCount()))
+	}
+	fmt.Printf("\nULBA avoided %.1f%% of the LB calls (paper: 62.5%%)\n", saved)
+	fmt.Printf("wall time: standard %.4f s, ULBA %.4f s (gain %+.2f%%)\n",
+		std.TotalTime, anticipating.TotalTime,
+		100*(std.TotalTime-anticipating.TotalTime)/std.TotalTime)
+}

@@ -1,0 +1,63 @@
+// Modelstudy explores the paper's analytic model on a randomly sampled
+// Table II instance: it computes the LB-interval bounds (sigma-, sigma+,
+// Menon's tau), evaluates the standard method and ULBA across alphas, and
+// checks the proposed sigma+ schedule against a simulated-annealing search —
+// a one-instance version of the Fig. 2 and Fig. 3 experiments.
+//
+//	go run ./examples/modelstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ulba"
+)
+
+func main() {
+	p := ulba.SampleInstances(42, 1)[0]
+	fmt.Println("sampled Table II instance:")
+	fmt.Printf("  %v\n\n", p)
+
+	sm, err := p.SigmaMinus(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := p.SigmaPlus(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, err := p.WithAlpha(0).MenonTau()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LB interval bounds after the initial balance:\n")
+	fmt.Printf("  sigma- = %4d iterations   (no benefit from balancing before this)\n", sm)
+	fmt.Printf("  sigma+ = %7.2f iterations (the paper's proposed LB step)\n", sp)
+	fmt.Printf("  tau    = %7.2f iterations (Menon's interval = sigma+ at alpha 0)\n\n", tau)
+
+	std := ulba.StandardTotalTime(p)
+	fmt.Printf("standard method total time: %.4f s\n\n", std)
+
+	fmt.Printf("%8s %14s %8s\n", "alpha", "ULBA time [s]", "gain %")
+	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		t := ulba.ULBATotalTime(p, alpha)
+		fmt.Printf("%8.2f %14.4f %+8.2f\n", alpha, t, 100*(std-t)/std)
+	}
+	bestAlpha, bestTime := ulba.BestAlpha(p, 100)
+	fmt.Printf("\nbest of a 100-alpha grid: alpha=%.3f -> %.4f s (gain %+.2f%%)\n",
+		bestAlpha, bestTime, 100*(std-bestTime)/std)
+
+	// Validate the sigma+ schedule against the heuristic search of
+	// Section III-B (simulated annealing over all 2^gamma schedules).
+	pa := p.WithAlpha(bestAlpha)
+	sigmaSched := ulba.SigmaPlusSchedule(pa)
+	annealed := ulba.AnnealSchedule(pa, 20000, 7)
+	sigmaTime := ulba.EvaluateSchedule(pa, sigmaSched)
+	annealTime := ulba.EvaluateSchedule(pa, annealed)
+	fmt.Printf("\nschedule comparison at alpha=%.3f:\n", bestAlpha)
+	fmt.Printf("  every sigma+        : %d calls, %.4f s\n", sigmaSched.Count(), sigmaTime)
+	fmt.Printf("  simulated annealing : %d calls, %.4f s\n", annealed.Count(), annealTime)
+	fmt.Printf("  sigma+ vs annealed  : %+.2f%% (paper Fig. 2: mean -0.83%%)\n",
+		100*(annealTime-sigmaTime)/annealTime)
+}

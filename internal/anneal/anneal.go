@@ -1,0 +1,139 @@
+// Package anneal provides a small, deterministic simulated-annealing
+// minimizer equivalent in spirit to the Python "simanneal" module the paper
+// used to search for near-optimal load-balancing schedules (Section III-B,
+// Fig. 2): geometric cooling between TMax and TMin, single-move neighborhood,
+// Metropolis acceptance, and best-state tracking.
+//
+// The minimizer is generic over the state type. Moves produce fresh states
+// (value semantics); for the paper's boolean LB-schedule states this costs a
+// gamma-byte copy per step, which is negligible.
+package anneal
+
+import (
+	"math"
+
+	"ulba/internal/stats"
+)
+
+// Config tunes the annealing schedule.
+type Config struct {
+	// TMax and TMin bound the geometric cooling schedule. If both are
+	// zero, Minimize calibrates them automatically from the energy
+	// landscape (sampling random moves, like simanneal's auto mode).
+	TMax, TMin float64
+	// Steps is the number of annealing steps (move proposals).
+	Steps int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the scale of the paper's searches: enough steps to
+// converge on a gamma=100 schedule in well under a second of CPU.
+func DefaultConfig(seed uint64) Config {
+	return Config{Steps: 20000, Seed: seed}
+}
+
+// Result reports the outcome of a minimization.
+type Result[S any] struct {
+	Best       S       // best state encountered
+	BestEnergy float64 // energy of Best
+	// Accepted and Improved count accepted moves and strict improvements;
+	// Evaluations counts energy evaluations (including calibration).
+	Accepted, Improved, Evaluations int
+	TMax, TMin                      float64 // temperatures actually used
+}
+
+// Minimize runs simulated annealing from the initial state.
+//
+// energy must return the objective to minimize. move must return a neighbor
+// of the given state without mutating it, drawing randomness only from rng
+// so runs are reproducible. clone deep-copies a state.
+func Minimize[S any](cfg Config, initial S, energy func(S) float64,
+	move func(S, *stats.RNG) S, clone func(S) S) Result[S] {
+
+	rng := stats.NewRNG(cfg.Seed)
+	if cfg.Steps <= 0 {
+		cfg.Steps = DefaultConfig(cfg.Seed).Steps
+	}
+
+	res := Result[S]{}
+	cur := clone(initial)
+	curE := energy(cur)
+	res.Evaluations++
+	res.Best = clone(cur)
+	res.BestEnergy = curE
+
+	tmax, tmin := cfg.TMax, cfg.TMin
+	if tmax == 0 && tmin == 0 {
+		tmax, tmin = calibrate(cur, curE, energy, move, rng, &res)
+	}
+	if tmin <= 0 {
+		tmin = tmax * 1e-6
+	}
+	if tmax <= 0 {
+		// Degenerate landscape (all moves iso-energetic): hill climb.
+		tmax, tmin = 1e-12, 1e-13
+	}
+	res.TMax, res.TMin = tmax, tmin
+
+	// Geometric cooling: T(k) = TMax * (TMin/TMax)^(k/Steps).
+	ratio := math.Log(tmin / tmax)
+	for k := 0; k < cfg.Steps; k++ {
+		temp := tmax * math.Exp(ratio*float64(k)/float64(cfg.Steps))
+		cand := move(cur, rng)
+		candE := energy(cand)
+		res.Evaluations++
+		dE := candE - curE
+		if dE <= 0 || rng.Float64() < math.Exp(-dE/temp) {
+			cur = cand
+			curE = candE
+			res.Accepted++
+			if curE < res.BestEnergy {
+				res.Best = clone(cur)
+				res.BestEnergy = curE
+				res.Improved++
+			}
+		}
+	}
+	return res
+}
+
+// calibrate estimates sensible temperatures by sampling random moves from
+// the initial state: TMax at ~2x the standard deviation of energy changes
+// (so almost everything is accepted initially), TMin at a small fraction
+// (so the walk freezes at the end).
+func calibrate[S any](cur S, curE float64, energy func(S) float64,
+	move func(S, *stats.RNG) S, rng *stats.RNG, res *Result[S]) (tmax, tmin float64) {
+
+	const samples = 50
+	var run stats.Running
+	for i := 0; i < samples; i++ {
+		cand := move(cur, rng)
+		run.Add(math.Abs(energy(cand) - curE))
+		res.Evaluations++
+	}
+	scale := run.Mean() + run.StdDev()
+	if scale == 0 || math.IsNaN(scale) {
+		return 0, 0
+	}
+	return 2 * scale, 2e-5 * scale
+}
+
+// MinimizeBools is a convenience wrapper for boolean-vector states (the LB
+// schedule representation of the paper: one flag per iteration). The move
+// flips a uniformly random flag, excluding index 0 (the initial balance is
+// free and fixed).
+func MinimizeBools(cfg Config, initial []bool, energy func([]bool) float64) Result[[]bool] {
+	if len(initial) < 2 {
+		cp := append([]bool(nil), initial...)
+		return Result[[]bool]{Best: cp, BestEnergy: energy(cp), Evaluations: 1}
+	}
+	move := func(s []bool, rng *stats.RNG) []bool {
+		n := append([]bool(nil), s...)
+		i := 1 + rng.Intn(len(s)-1)
+		n[i] = !n[i]
+		return n
+	}
+	clone := func(s []bool) []bool { return append([]bool(nil), s...) }
+	return Minimize(cfg, initial, energy, move, clone)
+}

@@ -1,0 +1,171 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"ulba/internal/stats"
+)
+
+// quadratic is a trivial continuous test problem: minimize (x-3)^2 with
+// moves that perturb x.
+func quadraticProblem(cfg Config) Result[float64] {
+	energy := func(x float64) float64 { return (x - 3) * (x - 3) }
+	move := func(x float64, rng *stats.RNG) float64 { return x + rng.Uniform(-0.5, 0.5) }
+	clone := func(x float64) float64 { return x }
+	return Minimize(cfg, -10, energy, move, clone)
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	res := quadraticProblem(Config{Steps: 20000, Seed: 1})
+	if math.Abs(res.Best-3) > 0.2 {
+		t.Errorf("Best = %v, want ~3 (energy %v)", res.Best, res.BestEnergy)
+	}
+	if res.BestEnergy > 0.05 {
+		t.Errorf("BestEnergy = %v, want ~0", res.BestEnergy)
+	}
+	if res.Accepted == 0 || res.Evaluations == 0 {
+		t.Error("statistics not recorded")
+	}
+	if res.TMax <= res.TMin {
+		t.Errorf("temperatures not ordered: %v <= %v", res.TMax, res.TMin)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	a := quadraticProblem(Config{Steps: 5000, Seed: 42})
+	b := quadraticProblem(Config{Steps: 5000, Seed: 42})
+	if a.Best != b.Best || a.BestEnergy != b.BestEnergy || a.Accepted != b.Accepted {
+		t.Error("same seed must reproduce the identical run")
+	}
+	c := quadraticProblem(Config{Steps: 5000, Seed: 43})
+	if a.Best == c.Best && a.Accepted == c.Accepted {
+		t.Error("different seeds should explore differently")
+	}
+}
+
+func TestMinimizeRespectsExplicitTemperatures(t *testing.T) {
+	res := quadraticProblem(Config{Steps: 2000, Seed: 7, TMax: 100, TMin: 0.001})
+	if res.TMax != 100 || res.TMin != 0.001 {
+		t.Errorf("explicit temperatures overridden: %v %v", res.TMax, res.TMin)
+	}
+}
+
+func TestMinimizeZeroStepsUsesDefault(t *testing.T) {
+	res := quadraticProblem(Config{Seed: 9})
+	if res.Evaluations < DefaultConfig(9).Steps {
+		t.Errorf("zero Steps should fall back to default, got %d evaluations", res.Evaluations)
+	}
+}
+
+func TestBestNeverWorseThanInitial(t *testing.T) {
+	energy := func(x float64) float64 { return x * x }
+	move := func(x float64, rng *stats.RNG) float64 { return x + rng.Uniform(-1, 1) }
+	clone := func(x float64) float64 { return x }
+	for seed := uint64(0); seed < 10; seed++ {
+		res := Minimize(Config{Steps: 300, Seed: seed}, 5, energy, move, clone)
+		if res.BestEnergy > 25 {
+			t.Errorf("seed %d: best energy %v worse than initial 25", seed, res.BestEnergy)
+		}
+	}
+}
+
+func TestFlatLandscape(t *testing.T) {
+	// All states have identical energy: must terminate and return a state.
+	energy := func(x float64) float64 { return 1 }
+	move := func(x float64, rng *stats.RNG) float64 { return x + 1 }
+	clone := func(x float64) float64 { return x }
+	res := Minimize(Config{Steps: 100, Seed: 3}, 0, energy, move, clone)
+	if res.BestEnergy != 1 {
+		t.Errorf("flat landscape energy = %v", res.BestEnergy)
+	}
+}
+
+// onemax: minimize the number of true bits. Global optimum is all-false
+// (except index 0 which is never touched).
+func TestMinimizeBoolsOneMax(t *testing.T) {
+	n := 60
+	initial := make([]bool, n)
+	for i := range initial {
+		initial[i] = true
+	}
+	energy := func(s []bool) float64 {
+		e := 0.0
+		for _, b := range s[1:] {
+			if b {
+				e++
+			}
+		}
+		return e
+	}
+	res := MinimizeBools(Config{Steps: 30000, Seed: 5}, initial, energy)
+	if res.BestEnergy > 2 {
+		t.Errorf("onemax best = %v, want near 0", res.BestEnergy)
+	}
+	if res.Best[0] != true {
+		t.Error("index 0 must never be flipped")
+	}
+}
+
+// A deceptive objective with local minima: pairs of adjacent bits are
+// rewarded, making single-flip moves climb through worse states.
+func TestMinimizeBoolsEscapesLocalMinima(t *testing.T) {
+	n := 30
+	energy := func(s []bool) float64 {
+		// count of set bits, minus large bonus for bit pairs (2i, 2i+1)
+		// both set; optimum sets all pairs.
+		e := 0.0
+		for i := 1; i < n; i++ {
+			if s[i] {
+				e += 1
+			}
+		}
+		for i := 2; i+1 < n; i += 2 {
+			if s[i] && s[i+1] {
+				e -= 3
+			}
+		}
+		return e
+	}
+	initial := make([]bool, n)
+	res := MinimizeBools(Config{Steps: 60000, Seed: 11}, initial, energy)
+	// Perfect pairing achieves e = 14 pairs * (2 - 3) = -14 (plus bit 1 if
+	// unset contributes 0). Accept anything close.
+	if res.BestEnergy > -10 {
+		t.Errorf("failed to escape local minima: best = %v, want <= -10", res.BestEnergy)
+	}
+}
+
+func TestMinimizeBoolsTinyState(t *testing.T) {
+	res := MinimizeBools(Config{Steps: 10, Seed: 1}, []bool{false}, func(s []bool) float64 { return 0 })
+	if len(res.Best) != 1 || res.BestEnergy != 0 {
+		t.Errorf("tiny state mishandled: %+v", res)
+	}
+}
+
+func TestMoveDoesNotMutateCurrent(t *testing.T) {
+	// The MinimizeBools move must copy; verify indirectly by checking
+	// that rejected moves do not corrupt the walk: with temperature ~0
+	// and an energy that penalizes any change, the initial state must
+	// survive identically.
+	initial := []bool{false, true, false, true}
+	want := append([]bool(nil), initial...)
+	energy := func(s []bool) float64 {
+		e := 0.0
+		for i := range s {
+			if s[i] != want[i] {
+				e += 100
+			}
+		}
+		return e
+	}
+	res := MinimizeBools(Config{Steps: 500, Seed: 2, TMax: 1e-9, TMin: 1e-12}, initial, energy)
+	for i := range want {
+		if res.Best[i] != want[i] {
+			t.Fatalf("best state drifted: %v, want %v", res.Best, want)
+		}
+	}
+	if res.BestEnergy != 0 {
+		t.Errorf("BestEnergy = %v, want 0", res.BestEnergy)
+	}
+}

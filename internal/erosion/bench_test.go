@@ -1,0 +1,63 @@
+package erosion
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkStep(b *testing.B) {
+	for _, size := range []struct{ w, h, r int }{
+		{64, 64, 16},
+		{192, 400, 48},
+	} {
+		b.Run(fmt.Sprintf("%dx%d", size.w, size.h), func(b *testing.B) {
+			cfg := Config{
+				P: 4, StripeWidth: size.w, Height: size.h, Radius: size.r,
+				StrongRocks: 1, ProbStrong: 0.4, ProbWeak: 0.02,
+				Seed: 1, FlopPerUnit: 100,
+			}
+			d := NewDomain(cfg, 0, cfg.Width())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Step(i, nil, nil)
+			}
+			b.ReportMetric(float64(d.RockCount()), "rocksLeft")
+		})
+	}
+}
+
+func BenchmarkNewDomain(b *testing.B) {
+	cfg := DefaultConfig(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewDomain(cfg, 0, cfg.StripeWidth) // one stripe
+	}
+}
+
+func BenchmarkRebuildMigration(b *testing.B) {
+	cfg := DefaultConfig(4)
+	d := NewDomain(cfg, 0, cfg.Width())
+	for i := 0; i < 20; i++ {
+		d.Step(i, nil, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunk := d.CopyRange(10, 30)
+		shrunk := d.Rebuild(30, d.Hi(), nil)
+		_ = shrunk.Rebuild(10, d.Hi(), map[int][][]Cell{10: chunk})
+	}
+}
+
+func BenchmarkPackCells(b *testing.B) {
+	cfg := DefaultConfig(4)
+	d := NewDomain(cfg, 0, 64)
+	cols := d.CopyRange(0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := PackCells(cols)
+		_ = UnpackCells(buf, cfg.Height)
+	}
+}

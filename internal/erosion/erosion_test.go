@@ -1,0 +1,464 @@
+package erosion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig(p int) Config {
+	return Config{
+		P:           p,
+		StripeWidth: 24,
+		Height:      24,
+		Radius:      6,
+		StrongRocks: 1,
+		ProbStrong:  0.4,
+		ProbWeak:    0.02,
+		Seed:        7,
+		FlopPerUnit: 100,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(4).Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	if err := DefaultConfig(8).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := map[string]func(*Config){
+		"P=0":          func(c *Config) { c.P = 0 },
+		"width":        func(c *Config) { c.StripeWidth = 0 },
+		"height":       func(c *Config) { c.Height = 0 },
+		"radius0":      func(c *Config) { c.Radius = 0 },
+		"radiusTooBig": func(c *Config) { c.Radius = c.StripeWidth / 2 },
+		"strongNeg":    func(c *Config) { c.StrongRocks = -1 },
+		"strongMany":   func(c *Config) { c.StrongRocks = c.P + 1 },
+		"probHigh":     func(c *Config) { c.ProbStrong = 1.5 },
+		"probNeg":      func(c *Config) { c.ProbWeak = -0.1 },
+		"flop0":        func(c *Config) { c.FlopPerUnit = 0 },
+	}
+	for name, mutate := range bad {
+		c := testConfig(4)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestCellSemantics(t *testing.T) {
+	if Rock.IsFluid() || Rock.Weight() != 0 {
+		t.Error("rock misclassified")
+	}
+	if !Fluid.IsFluid() || Fluid.Weight() != 1 {
+		t.Error("fluid misclassified")
+	}
+	if !Refined.IsFluid() || Refined.Weight() != 4 {
+		t.Error("refined misclassified")
+	}
+}
+
+func TestStrongSetDeterministicAndSized(t *testing.T) {
+	c := testConfig(8)
+	c.StrongRocks = 3
+	a := c.StrongSet()
+	b := c.StrongSet()
+	countA := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("strong set not deterministic")
+		}
+		if a[i] {
+			countA++
+		}
+	}
+	if countA != 3 {
+		t.Errorf("strong count = %d, want 3", countA)
+	}
+	c2 := c
+	c2.Seed = 12345
+	d := c2.StrongSet()
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("warning: different seed chose the same strong set (possible but unlikely)")
+	}
+}
+
+func TestDiscGeometry(t *testing.T) {
+	c := testConfig(3)
+	d := NewDomain(c, 0, c.Width())
+	// Disc centers are inside stripes: the center cell of stripe 1 is
+	// rock, the stripe corner is fluid.
+	cx := c.StripeWidth + c.StripeWidth/2
+	cy := c.Height / 2
+	if d.Cell(cx, cy) != Rock {
+		t.Error("disc center should be rock")
+	}
+	if d.Cell(c.StripeWidth, 0) != Fluid {
+		t.Error("stripe corner should be fluid")
+	}
+	// Rock count per stripe ~ pi*r^2 within 15%.
+	want := math.Pi * float64(c.Radius) * float64(c.Radius)
+	per := float64(d.RockCount()) / float64(c.P)
+	if math.Abs(per-want)/want > 0.15 {
+		t.Errorf("rock cells per disc = %v, want ~%v", per, want)
+	}
+	// Discs do not touch stripe boundaries.
+	for x := 0; x < c.Width(); x += c.StripeWidth {
+		for y := 0; y < c.Height; y++ {
+			if d.Cell(x, y) == Rock {
+				t.Fatalf("rock at stripe boundary column %d row %d", x, y)
+			}
+		}
+	}
+}
+
+func TestInitialWorkload(t *testing.T) {
+	c := testConfig(2)
+	d := NewDomain(c, 0, c.Width())
+	cells := c.Width() * c.Height
+	rocks := d.RockCount()
+	if got := d.Workload(); got != float64(cells-rocks) {
+		t.Errorf("initial workload = %v, want fluid cells %d", got, cells-rocks)
+	}
+	if got := d.Flop(); got != d.Workload()*c.FlopPerUnit {
+		t.Errorf("Flop = %v", got)
+	}
+}
+
+func TestStepConservesCellsAndGrowsWeight(t *testing.T) {
+	c := testConfig(2)
+	d := NewDomain(c, 0, c.Width())
+	initialRocks := d.RockCount()
+	initialWork := d.Workload()
+	totalEroded := 0
+	for i := 0; i < 30; i++ {
+		totalEroded += d.Step(i, nil, nil)
+	}
+	if totalEroded == 0 {
+		t.Fatal("no erosion after 30 iterations of a strong disc")
+	}
+	if got := d.RockCount(); got != initialRocks-totalEroded {
+		t.Errorf("rock accounting: %d remaining, want %d", got, initialRocks-totalEroded)
+	}
+	if got := d.Workload(); got != initialWork+4*float64(totalEroded) {
+		t.Errorf("workload = %v, want %v", got, initialWork+4*float64(totalEroded))
+	}
+}
+
+func TestOnlyBoundaryRocksErode(t *testing.T) {
+	c := testConfig(1)
+	d := NewDomain(c, 0, c.Width())
+	d.Step(0, nil, nil)
+	// After one step, the disc interior (well within the radius) must be
+	// intact: interior rocks have no fluid neighbors.
+	cx := c.StripeWidth / 2
+	cy := c.Height / 2
+	if d.Cell(cx, cy) != Rock {
+		t.Error("disc core eroded in one step")
+	}
+	// Every eroded cell is Refined, never Fluid.
+	for x := 0; x < c.Width(); x++ {
+		for y := 0; y < c.Height; y++ {
+			cell := d.Cell(x, y)
+			if cell != Rock && cell != Fluid && cell != Refined {
+				t.Fatalf("unexpected cell state %d at (%d,%d)", cell, x, y)
+			}
+		}
+	}
+}
+
+func TestStrongDiscErodesFaster(t *testing.T) {
+	c := testConfig(4)
+	c.StrongRocks = 1
+	strong := c.StrongSet()
+	strongIdx := -1
+	for i, s := range strong {
+		if s {
+			strongIdx = i
+		}
+	}
+	d := NewDomain(c, 0, c.Width())
+	for i := 0; i < 40; i++ {
+		d.Step(i, nil, nil)
+	}
+	// Accumulated fluid weight per stripe.
+	gains := make([]float64, c.P)
+	for s := 0; s < c.P; s++ {
+		for x := s * c.StripeWidth; x < (s+1)*c.StripeWidth; x++ {
+			gains[s] += d.ColWeight(x)
+		}
+	}
+	for s := 0; s < c.P; s++ {
+		if s != strongIdx && gains[s] >= gains[strongIdx] {
+			t.Errorf("weak stripe %d (%v) caught up with strong stripe %d (%v)",
+				s, gains[s], strongIdx, gains[strongIdx])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := testConfig(2)
+	run := func() float64 {
+		d := NewDomain(c, 0, c.Width())
+		for i := 0; i < 20; i++ {
+			d.Step(i, nil, nil)
+		}
+		return d.Workload()
+	}
+	if run() != run() {
+		t.Error("identical runs diverged")
+	}
+}
+
+// The critical substrate property: stepping a partitioned domain with halo
+// exchange is bit-identical to stepping the full domain.
+func TestPartitionIndependence(t *testing.T) {
+	c := testConfig(3)
+	width := c.Width()
+	ref := NewDomain(c, 0, width)
+
+	// Three parts with uneven cuts crossing disc areas.
+	cuts := []int{0, c.StripeWidth/2 + 3, 2*c.StripeWidth - 5, width}
+	parts := make([]*Domain, 3)
+	for i := range parts {
+		parts[i] = NewDomain(c, cuts[i], cuts[i+1])
+	}
+
+	const iters = 25
+	for it := 0; it < iters; it++ {
+		ref.Step(it, nil, nil)
+
+		// Snapshot halos before stepping any part.
+		lefts := make([][]Cell, 3)
+		rights := make([][]Cell, 3)
+		for i := range parts {
+			if i > 0 {
+				lefts[i] = parts[i-1].BoundaryColumn(false)
+			}
+			if i < 2 {
+				rights[i] = parts[i+1].BoundaryColumn(true)
+			}
+		}
+		for i := range parts {
+			parts[i].Step(it, lefts[i], rights[i])
+		}
+	}
+
+	for i, part := range parts {
+		for x := part.Lo(); x < part.Hi(); x++ {
+			for y := 0; y < c.Height; y++ {
+				if part.Cell(x, y) != ref.Cell(x, y) {
+					t.Fatalf("part %d diverged from reference at (%d,%d): %d vs %d",
+						i, x, y, part.Cell(x, y), ref.Cell(x, y))
+				}
+			}
+			if part.ColWeight(x) != ref.ColWeight(x) {
+				t.Fatalf("column %d weight diverged: %v vs %v", x, part.ColWeight(x), ref.ColWeight(x))
+			}
+		}
+	}
+}
+
+func TestCopyRangeAndRebuildRoundTrip(t *testing.T) {
+	c := testConfig(2)
+	d := NewDomain(c, 0, c.Width())
+	for i := 0; i < 10; i++ {
+		d.Step(i, nil, nil)
+	}
+	// Simulate migrating columns [10, 20) from this domain to another
+	// owner and back: rebuild with a narrower range, then restore.
+	chunk := d.CopyRange(10, 20)
+	shrunk := d.Rebuild(20, d.Hi(), nil) // keep only [20, hi)
+	if shrunk.Lo() != 20 || shrunk.Hi() != d.Hi() {
+		t.Fatalf("shrunk range [%d,%d)", shrunk.Lo(), shrunk.Hi())
+	}
+	restored := shrunk.Rebuild(10, d.Hi(), map[int][][]Cell{10: chunk})
+	for x := 10; x < d.Hi(); x++ {
+		for y := 0; y < c.Height; y++ {
+			if restored.Cell(x, y) != d.Cell(x, y) {
+				t.Fatalf("restored cell (%d,%d) differs", x, y)
+			}
+		}
+		if restored.ColWeight(x) != d.ColWeight(x) {
+			t.Fatalf("restored weight %d differs", x)
+		}
+	}
+	if restored.RockCount() != d.RockCount()-countRocks(chunkRows(d, 0, 10)) {
+		// restored dropped columns [0,10): rock accounting must match.
+		t.Fatalf("rock counts diverged after rebuild")
+	}
+}
+
+func chunkRows(d *Domain, a, b int) [][]Cell { return d.CopyRange(a, b) }
+
+func countRocks(cols [][]Cell) int {
+	n := 0
+	for _, col := range cols {
+		for _, c := range col {
+			if c == Rock {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestRebuildPanicsOnBadTiling(t *testing.T) {
+	c := testConfig(1)
+	d := NewDomain(c, 0, c.Width())
+	for name, f := range map[string]func(){
+		"missing": func() { d.Rebuild(0, c.Width()+0, map[int][][]Cell{}) }, // fine: full overlap, no panic
+		"overlap": func() {
+			d.Rebuild(0, c.Width(), map[int][][]Cell{0: d.CopyRange(0, 1)})
+		},
+	} {
+		if name == "missing" {
+			continue // covered below with a real gap
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// A real gap: new range extends beyond owned with no received chunk.
+	half := NewDomain(c, 0, c.Width()/2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("gap should panic")
+			}
+		}()
+		half.Rebuild(0, c.Width(), nil)
+	}()
+}
+
+func TestPackUnpackCells(t *testing.T) {
+	c := testConfig(1)
+	d := NewDomain(c, 0, 5)
+	cols := d.CopyRange(0, 5)
+	rt := UnpackCells(PackCells(cols), c.Height)
+	if len(rt) != 5 {
+		t.Fatalf("round trip count = %d", len(rt))
+	}
+	for i := range cols {
+		for y := range cols[i] {
+			if rt[i][y] != cols[i][y] {
+				t.Fatalf("cell (%d,%d) corrupted", i, y)
+			}
+		}
+	}
+	if PackCells(nil) != nil {
+		t.Error("empty pack should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupt payload should panic")
+		}
+	}()
+	UnpackCells(make([]byte, 7), 3)
+}
+
+func TestPackUnpackHalo(t *testing.T) {
+	col := []Cell{Rock, Fluid, Refined}
+	rt := UnpackHalo(PackHalo(col))
+	for i := range col {
+		if rt[i] != col[i] {
+			t.Fatal("halo round trip corrupted")
+		}
+	}
+	if UnpackHalo(nil) != nil || PackHalo(nil) != nil {
+		t.Error("nil halo should round trip to nil")
+	}
+}
+
+func TestBoundaryColumn(t *testing.T) {
+	c := testConfig(1)
+	d := NewDomain(c, 3, 8)
+	left := d.BoundaryColumn(true)
+	right := d.BoundaryColumn(false)
+	for y := 0; y < c.Height; y++ {
+		if left[y] != d.Cell(3, y) {
+			t.Fatal("left boundary wrong")
+		}
+		if right[y] != d.Cell(7, y) {
+			t.Fatal("right boundary wrong")
+		}
+	}
+	// Mutating the copy must not affect the domain.
+	left[0] = Refined
+	if d.Cell(3, 0) == Refined && c.InitialCell(3, 0) != Refined {
+		t.Error("BoundaryColumn aliases internal state")
+	}
+	empty := NewDomain(c, 5, 5)
+	if empty.BoundaryColumn(true) != nil {
+		t.Error("empty domain boundary should be nil")
+	}
+}
+
+func TestEventualErosionOfStrongDisc(t *testing.T) {
+	c := testConfig(1)
+	c.StrongRocks = 1 // the only disc is strong
+	d := NewDomain(c, 0, c.Width())
+	initial := d.RockCount()
+	for i := 0; i < 400 && d.RockCount() > 0; i++ {
+		d.Step(i, nil, nil)
+	}
+	if d.RockCount() > initial/10 {
+		t.Errorf("strong disc should mostly erode: %d of %d rocks left", d.RockCount(), initial)
+	}
+	// Workload must reflect every conversion.
+	cells := float64(c.Width() * c.Height)
+	want := cells - float64(initial) + 4*float64(initial-d.RockCount())
+	if d.Workload() != want {
+		t.Errorf("workload = %v, want %v", d.Workload(), want)
+	}
+}
+
+// Property: a no-fluid-neighbor rock never erodes; probability 0 discs never
+// erode at all.
+func TestNoErosionWithZeroProbabilityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := testConfig(2)
+		c.Seed = seed
+		c.ProbStrong = 0
+		c.ProbWeak = 0
+		d := NewDomain(c, 0, c.Width())
+		before := d.RockCount()
+		for i := 0; i < 5; i++ {
+			if d.Step(i, nil, nil) != 0 {
+				return false
+			}
+		}
+		return d.RockCount() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with probability 1, every rock with at least one fluid neighbor
+// erodes every step — the erosion front advances one cell per iteration.
+func TestCertainErosionProperty(t *testing.T) {
+	c := testConfig(1)
+	c.ProbStrong = 1
+	c.ProbWeak = 1
+	d := NewDomain(c, 0, c.Width())
+	for i := 0; i < 3; i++ {
+		eroded := d.Step(i, nil, nil)
+		if eroded == 0 && d.RockCount() > 0 {
+			t.Fatalf("iteration %d: no erosion despite probability 1", i)
+		}
+	}
+}

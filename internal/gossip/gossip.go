@@ -1,0 +1,211 @@
+// Package gossip implements the workload-increase-rate (WIR) database and
+// the dissemination algorithm of Section III-C of the paper: "each PE keeps
+// a database that stores the WIR of every PE. Each PE evaluates its WIR and
+// propagates it (as well as the most recent WIRs in its database) to the
+// other PEs using a dissemination algorithm; one dissemination step is done
+// at each iteration to mitigate the overhead due to the WIR communication."
+//
+// The dissemination pattern is a deterministic doubling ring: at step s each
+// rank pushes its whole database to (rank + 2^(s mod ceil(log2 P))) mod P
+// and receives from the mirror rank. Because subset sums of the offsets
+// {1, 2, 4, ..., 2^(L-1)} cover every distance, any L = ceil(log2 P)
+// consecutive steps propagate every entry to every PE, matching the paper's
+// observation that entries are still "up to date" a few steps after
+// measurement under the principle of persistence.
+package gossip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ulba/internal/mpisim"
+	"ulba/internal/stats"
+)
+
+// Entry is one PE's WIR observation, stamped with the iteration at which it
+// was measured so merges can keep the freshest value.
+type Entry struct {
+	Rank int
+	WIR  float64
+	Iter int
+}
+
+// DB is the per-PE database of the freshest known WIR of every rank.
+type DB struct {
+	self    int
+	entries []Entry
+	known   []bool
+}
+
+// NewDB creates an empty database for a world of size ranks, owned by rank
+// self.
+func NewDB(self, size int) *DB {
+	if self < 0 || self >= size {
+		panic(fmt.Sprintf("gossip: self rank %d out of range for size %d", self, size))
+	}
+	return &DB{
+		self:    self,
+		entries: make([]Entry, size),
+		known:   make([]bool, size),
+	}
+}
+
+// Size returns the world size the database covers.
+func (db *DB) Size() int { return len(db.entries) }
+
+// Self returns the owning rank.
+func (db *DB) Self() int { return db.self }
+
+// Update records a WIR observation for rank if it is fresher than (or as
+// fresh as) the stored one. Same-iteration updates overwrite, so a PE's own
+// re-measurement in the same iteration wins.
+func (db *DB) Update(rank int, wir float64, iter int) {
+	if rank < 0 || rank >= len(db.entries) {
+		panic(fmt.Sprintf("gossip: update for invalid rank %d", rank))
+	}
+	if db.known[rank] && db.entries[rank].Iter > iter {
+		return
+	}
+	db.entries[rank] = Entry{Rank: rank, WIR: wir, Iter: iter}
+	db.known[rank] = true
+}
+
+// Merge folds a batch of entries into the database, keeping freshest.
+func (db *DB) Merge(entries []Entry) {
+	for _, e := range entries {
+		db.Update(e.Rank, e.WIR, e.Iter)
+	}
+}
+
+// Get returns the stored entry for rank and whether one exists.
+func (db *DB) Get(rank int) (Entry, bool) {
+	if rank < 0 || rank >= len(db.entries) {
+		return Entry{}, false
+	}
+	return db.entries[rank], db.known[rank]
+}
+
+// KnownCount returns how many ranks have a stored entry.
+func (db *DB) KnownCount() int {
+	n := 0
+	for _, k := range db.known {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// WIRs returns the WIR values of all known entries, the population used by
+// the z-score overload detector.
+func (db *DB) WIRs() []float64 {
+	out := make([]float64, 0, len(db.entries))
+	for r, k := range db.known {
+		if k {
+			out = append(out, db.entries[r].WIR)
+		}
+	}
+	return out
+}
+
+// Snapshot returns all known entries.
+func (db *DB) Snapshot() []Entry {
+	out := make([]Entry, 0, len(db.entries))
+	for r, k := range db.known {
+		if k {
+			out = append(out, db.entries[r])
+		}
+	}
+	return out
+}
+
+// Staleness returns the age (in iterations, relative to now) of the oldest
+// known entry, or math.Inf(1) if the database is empty.
+func (db *DB) Staleness(now int) float64 {
+	oldest := math.Inf(1)
+	any := false
+	worst := 0
+	for r, k := range db.known {
+		if !k {
+			continue
+		}
+		any = true
+		if age := now - db.entries[r].Iter; age > worst {
+			worst = age
+		}
+	}
+	if !any {
+		return oldest
+	}
+	return float64(worst)
+}
+
+// ZScoreOf returns the z-score of rank's WIR within the known WIR
+// distribution, and false if the rank is unknown. A PE whose z-score
+// exceeds the paper's threshold (3.0) is considered overloading.
+func (db *DB) ZScoreOf(rank int) (float64, bool) {
+	e, ok := db.Get(rank)
+	if !ok {
+		return 0, false
+	}
+	return stats.ZScore(e.WIR, db.WIRs()), true
+}
+
+const entryBytes = 24 // rank int64 + wir float64 + iter int64
+
+// EncodeEntries serializes entries for the wire.
+func EncodeEntries(entries []Entry) []byte {
+	b := make([]byte, entryBytes*len(entries))
+	for i, e := range entries {
+		off := i * entryBytes
+		binary.LittleEndian.PutUint64(b[off:], uint64(int64(e.Rank)))
+		binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(e.WIR))
+		binary.LittleEndian.PutUint64(b[off+16:], uint64(int64(e.Iter)))
+	}
+	return b
+}
+
+// DecodeEntries reverses EncodeEntries; it panics on corrupt payloads.
+func DecodeEntries(b []byte) []Entry {
+	if len(b)%entryBytes != 0 {
+		panic("gossip: corrupt entry payload")
+	}
+	out := make([]Entry, len(b)/entryBytes)
+	for i := range out {
+		off := i * entryBytes
+		out[i] = Entry{
+			Rank: int(int64(binary.LittleEndian.Uint64(b[off:]))),
+			WIR:  math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
+			Iter: int(int64(binary.LittleEndian.Uint64(b[off+16:]))),
+		}
+	}
+	return out
+}
+
+// Rounds returns ceil(log2 size): the number of consecutive dissemination
+// steps after which every entry has reached every PE.
+func Rounds(size int) int {
+	r := 0
+	for 1<<r < size {
+		r++
+	}
+	return r
+}
+
+// Step performs one dissemination step at the given step index over the
+// simulated runtime: push the whole database to the doubling-ring partner
+// and merge what the mirror partner pushed to us. All ranks must call Step
+// with the same step index and tag. A world of one PE is a no-op.
+func Step(p *mpisim.Proc, db *DB, step int, tag int) {
+	size := p.Size()
+	if size == 1 {
+		return
+	}
+	rounds := Rounds(size)
+	offset := 1 << (step % rounds)
+	dst := (p.Rank() + offset) % size
+	src := (p.Rank() - offset%size + size) % size
+	payload := p.SendRecv(dst, EncodeEntries(db.Snapshot()), src, tag)
+	db.Merge(DecodeEntries(payload))
+}

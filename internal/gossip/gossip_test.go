@@ -1,0 +1,291 @@
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ulba/internal/mpisim"
+	"ulba/internal/stats"
+)
+
+func testCost() mpisim.CostModel {
+	return mpisim.CostModel{Latency: 1e-6, ByteTime: 1e-9, FLOPS: 1e9}
+}
+
+func TestDBUpdateFreshnessWins(t *testing.T) {
+	db := NewDB(0, 4)
+	db.Update(2, 1.0, 5)
+	db.Update(2, 2.0, 3) // staler: ignored
+	if e, ok := db.Get(2); !ok || e.WIR != 1.0 || e.Iter != 5 {
+		t.Errorf("stale update overwrote fresher entry: %+v", e)
+	}
+	db.Update(2, 3.0, 5) // same iteration: overwrites
+	if e, _ := db.Get(2); e.WIR != 3.0 {
+		t.Errorf("same-iteration update should win: %+v", e)
+	}
+	db.Update(2, 4.0, 9)
+	if e, _ := db.Get(2); e.WIR != 4.0 || e.Iter != 9 {
+		t.Errorf("fresher update should win: %+v", e)
+	}
+}
+
+func TestDBBasics(t *testing.T) {
+	db := NewDB(1, 3)
+	if db.Size() != 3 || db.Self() != 1 {
+		t.Error("size/self wrong")
+	}
+	if db.KnownCount() != 0 {
+		t.Error("fresh DB should be empty")
+	}
+	if _, ok := db.Get(0); ok {
+		t.Error("unknown rank should not be gettable")
+	}
+	if _, ok := db.Get(-1); ok {
+		t.Error("invalid rank should not be gettable")
+	}
+	db.Update(0, 5, 0)
+	db.Update(1, 7, 0)
+	if db.KnownCount() != 2 {
+		t.Errorf("KnownCount = %d", db.KnownCount())
+	}
+	wirs := db.WIRs()
+	if len(wirs) != 2 || wirs[0] != 5 || wirs[1] != 7 {
+		t.Errorf("WIRs = %v", wirs)
+	}
+	snap := db.Snapshot()
+	if len(snap) != 2 || snap[0].Rank != 0 || snap[1].Rank != 1 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+}
+
+func TestDBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid self should panic")
+		}
+	}()
+	NewDB(5, 3)
+}
+
+func TestDBUpdatePanicsOnBadRank(t *testing.T) {
+	db := NewDB(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid rank update should panic")
+		}
+	}()
+	db.Update(7, 1, 1)
+}
+
+func TestStaleness(t *testing.T) {
+	db := NewDB(0, 4)
+	if !math.IsInf(db.Staleness(10), 1) {
+		t.Error("empty DB staleness should be +Inf")
+	}
+	db.Update(0, 1, 8)
+	db.Update(1, 1, 3)
+	if got := db.Staleness(10); got != 7 {
+		t.Errorf("Staleness = %v, want 7", got)
+	}
+}
+
+func TestZScoreOf(t *testing.T) {
+	db := NewDB(0, 32)
+	for r := 0; r < 32; r++ {
+		wir := 1.0
+		if r == 5 {
+			wir = 10.0
+		}
+		db.Update(r, wir, 0)
+	}
+	z, ok := db.ZScoreOf(5)
+	if !ok {
+		t.Fatal("rank 5 should be known")
+	}
+	// Single outlier among 32: z = sqrt(31) > 3 (the paper's threshold).
+	if z < 3 {
+		t.Errorf("outlier z = %v, want > 3", z)
+	}
+	z0, _ := db.ZScoreOf(0)
+	if z0 >= 3 {
+		t.Errorf("inlier z = %v, want < 3", z0)
+	}
+	if _, ok := db.ZScoreOf(99); ok {
+		t.Error("unknown rank should report !ok")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []Entry{{Rank: 3, WIR: -1.5, Iter: 42}, {Rank: 0, WIR: 0, Iter: 0}}
+	out := DecodeEntries(EncodeEntries(in))
+	if len(out) != len(in) {
+		t.Fatal("length mismatch")
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupt payload should panic")
+		}
+	}()
+	DecodeEntries(make([]byte, 5))
+}
+
+func TestRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 256: 8}
+	for size, want := range cases {
+		if got := Rounds(size); got != want {
+			t.Errorf("Rounds(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+// After ceil(log2 P) consecutive steps every PE must know every WIR.
+func TestFullDisseminationWithinLogRounds(t *testing.T) {
+	for _, size := range []int{2, 3, 4, 7, 8, 16, 33} {
+		size := size
+		t.Run(fmt.Sprintf("P=%d", size), func(t *testing.T) {
+			rounds := Rounds(size)
+			err := mpisim.Run(size, testCost(), func(p *mpisim.Proc) error {
+				db := NewDB(p.Rank(), size)
+				db.Update(p.Rank(), float64(p.Rank())*1.5, 0)
+				for s := 0; s < rounds; s++ {
+					Step(p, db, s, 100)
+				}
+				if db.KnownCount() != size {
+					return fmt.Errorf("rank %d knows %d/%d after %d rounds",
+						p.Rank(), db.KnownCount(), size, rounds)
+				}
+				for r := 0; r < size; r++ {
+					e, ok := db.Get(r)
+					if !ok || e.WIR != float64(r)*1.5 {
+						return fmt.Errorf("rank %d has wrong entry for %d: %+v", p.Rank(), r, e)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Dissemination starting at an arbitrary phase still covers everyone within
+// one full cycle (subset sums of the offsets are order independent).
+func TestDisseminationAnyPhase(t *testing.T) {
+	const size = 16
+	rounds := Rounds(size)
+	for phase := 0; phase < rounds; phase++ {
+		phase := phase
+		err := mpisim.Run(size, testCost(), func(p *mpisim.Proc) error {
+			db := NewDB(p.Rank(), size)
+			db.Update(p.Rank(), 1, 0)
+			for s := phase; s < phase+rounds; s++ {
+				Step(p, db, s, 7)
+			}
+			if db.KnownCount() != size {
+				return fmt.Errorf("phase %d: rank %d knows only %d", phase, p.Rank(), db.KnownCount())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Continuous gossip keeps entries fresh: after k extra iterations in which
+// every PE re-measures, no entry is older than the dissemination diameter.
+func TestContinuousGossipBoundsStaleness(t *testing.T) {
+	const size = 8
+	rounds := Rounds(size)
+	err := mpisim.Run(size, testCost(), func(p *mpisim.Proc) error {
+		db := NewDB(p.Rank(), size)
+		const iters = 30
+		for i := 0; i < iters; i++ {
+			db.Update(p.Rank(), float64(i), i)
+			Step(p, db, i, 55)
+		}
+		stale := db.Staleness(iters - 1)
+		if stale > float64(rounds) {
+			return fmt.Errorf("rank %d staleness %v exceeds diameter %d", p.Rank(), stale, rounds)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepSingleton(t *testing.T) {
+	err := mpisim.Run(1, testCost(), func(p *mpisim.Proc) error {
+		db := NewDB(0, 1)
+		db.Update(0, 1, 0)
+		Step(p, db, 0, 3) // must be a no-op, not a deadlock
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging is idempotent and commutative for fixed freshness.
+func TestMergeSemanticsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		size := 2 + rng.Intn(10)
+		mkEntries := func(n int) []Entry {
+			es := make([]Entry, n)
+			for i := range es {
+				es[i] = Entry{Rank: rng.Intn(size), WIR: rng.Float64(), Iter: rng.Intn(20)}
+			}
+			return es
+		}
+		a := mkEntries(rng.Intn(15))
+		b := mkEntries(rng.Intn(15))
+
+		db1 := NewDB(0, size)
+		db1.Merge(a)
+		db1.Merge(b)
+		db1.Merge(b) // idempotent
+
+		// For commutativity the tie-breaking on equal Iter matters;
+		// filter duplicates with equal freshness to sidestep ties.
+		seen := map[[2]int]bool{}
+		var aa, bb []Entry
+		for _, e := range append(append([]Entry{}, a...), b...) {
+			k := [2]int{e.Rank, e.Iter}
+			if !seen[k] {
+				seen[k] = true
+				if len(aa) <= len(bb) {
+					aa = append(aa, e)
+				} else {
+					bb = append(bb, e)
+				}
+			}
+		}
+		db2 := NewDB(0, size)
+		db2.Merge(aa)
+		db2.Merge(bb)
+		db3 := NewDB(0, size)
+		db3.Merge(bb)
+		db3.Merge(aa)
+		for r := 0; r < size; r++ {
+			e2, ok2 := db2.Get(r)
+			e3, ok3 := db3.Get(r)
+			if ok2 != ok3 || (ok2 && e2 != e3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

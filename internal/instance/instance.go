@@ -1,0 +1,129 @@
+// Package instance samples random application instances following Table II
+// of the paper. The distributions model a 2D/3D computational-fluid-dynamics
+// application with 1e7 cells per PE at 52..1165 FLOP per cell (after Tomczak
+// & Szafran), an application-level workload increase rate of 1-30% of the
+// per-PE workload, 80-100% of that increase concentrated on the overloading
+// PEs, and a LB cost of 0.1-3x one iteration's compute time.
+package instance
+
+import (
+	"ulba/internal/model"
+	"ulba/internal/stats"
+)
+
+// Table II constants.
+var (
+	// PChoices is the set of PE counts sampled uniformly.
+	PChoices = []int{256, 512, 1024, 2048}
+)
+
+const (
+	// Gamma is the fixed number of iterations of every instance.
+	Gamma = 100
+	// Omega is the fixed PE speed: one GFLOPS, as in the paper.
+	Omega = 1e9
+	// W0PerPELo and W0PerPEHi bound the initial workload per PE in FLOP:
+	// 1e7 cells x (52 .. 1165) FLOP/cell.
+	W0PerPELo = 52e7
+	W0PerPEHi = 1165e7
+	// OverloadFracLo/Hi bound v in N = P*v.
+	OverloadFracLo = 0.01
+	OverloadFracHi = 0.2
+	// GrowthFracLo/Hi bound x in DeltaW = (W0/P)*x.
+	GrowthFracLo = 0.01
+	GrowthFracHi = 0.3
+	// SkewLo/Hi bound y: the share of DeltaW concentrated on overloading
+	// PEs (m = DeltaW*y/N) versus spread evenly (a = DeltaW*(1-y)/P).
+	SkewLo = 0.8
+	SkewHi = 1.0
+	// CostFracLo/Hi bound z in C = (W0/P)*z / omega seconds.
+	CostFracLo = 0.1
+	CostFracHi = 3.0
+)
+
+// Fig3Buckets lists the percentages of overloading PEs on the x-axis of
+// Fig. 3 of the paper (log-spaced from 1% to 20%).
+var Fig3Buckets = []float64{0.010, 0.016, 0.024, 0.034, 0.048, 0.065, 0.087, 0.115, 0.152, 0.200}
+
+// Generator draws Table II instances deterministically from a seed.
+type Generator struct {
+	rng *stats.RNG
+}
+
+// NewGenerator returns a generator with the given seed.
+func NewGenerator(seed uint64) *Generator {
+	return &Generator{rng: stats.NewRNG(seed)}
+}
+
+// Sample draws one complete instance with every parameter from Table II,
+// including a random alpha (used by the Fig. 2 experiment, where alpha is an
+// instance property rather than a tuned knob).
+func (g *Generator) Sample() model.Params {
+	p := g.SampleAt(g.rng.Uniform(OverloadFracLo, OverloadFracHi))
+	p.Alpha = g.rng.Float64()
+	return p
+}
+
+// SampleAt draws an instance with the fraction of overloading PEs pinned to
+// overloadFrac and alpha left at zero, as needed by the Fig. 3 sweep where
+// alpha is optimized per instance.
+func (g *Generator) SampleAt(overloadFrac float64) model.Params {
+	r := g.rng
+	p := model.Params{
+		P:     PChoices[r.Intn(len(PChoices))],
+		Gamma: Gamma,
+		Omega: Omega,
+	}
+	p.N = int(float64(p.P) * overloadFrac)
+	if p.N < 1 {
+		p.N = 1
+	}
+	if p.N >= p.P {
+		p.N = p.P - 1
+	}
+	p.W0 = r.Uniform(W0PerPELo, W0PerPEHi) * float64(p.P)
+	p.DeltaW = p.W0 / float64(p.P) * r.Uniform(GrowthFracLo, GrowthFracHi)
+	y := r.Uniform(SkewLo, SkewHi)
+	p.A = p.DeltaW * (1 - y) / float64(p.P)
+	p.M = p.DeltaW * y / float64(p.N)
+	p.C = p.W0 / float64(p.P) * r.Uniform(CostFracLo, CostFracHi) / p.Omega
+	return p
+}
+
+// SampleMany draws n complete instances.
+func (g *Generator) SampleMany(n int) []model.Params {
+	out := make([]model.Params, n)
+	for i := range out {
+		out[i] = g.Sample()
+	}
+	return out
+}
+
+// Split derives an independent generator, for deterministic parallel
+// experiment workers.
+func (g *Generator) Split() *Generator {
+	return &Generator{rng: g.rng.Split()}
+}
+
+// TableIIRow describes one row of Table II for the table-reproduction
+// harness.
+type TableIIRow struct {
+	Name         string
+	Distribution string
+}
+
+// TableII returns the rows of Table II exactly as the generator implements
+// them, so the printed table doubles as living documentation.
+func TableII() []TableIIRow {
+	return []TableIIRow{
+		{"P", "Uniformly sampled on [256, 512, 1024, 2048]"},
+		{"N", "P*v, v ~ Uniform(0.01, 0.2)"},
+		{"gamma", "100"},
+		{"Wtot(0)", "Uniform(52e7*P, 1165e7*P) FLOP"},
+		{"DeltaW", "(Wtot(0)/P)*x, x ~ Uniform(0.01, 0.3)"},
+		{"a", "(DeltaW/P)*(1-y), y ~ Uniform(0.8, 1.0)"},
+		{"m", "(DeltaW/N)*y"},
+		{"alpha", "Uniform(0.0, 1.0)"},
+		{"C", "(Wtot(0)/P)*z / omega, z ~ Uniform(0.1, 3.0)"},
+	}
+}

@@ -1,0 +1,172 @@
+package instance
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleValid(t *testing.T) {
+	g := NewGenerator(1)
+	for i := 0; i < 500; i++ {
+		p := g.Sample()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("instance %d invalid: %v\n%v", i, err, p)
+		}
+	}
+}
+
+func TestSampleRanges(t *testing.T) {
+	g := NewGenerator(2)
+	seenP := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		p := g.Sample()
+		seenP[p.P] = true
+		frac := float64(p.N) / float64(p.P)
+		// N = floor(P*v) with v >= 0.01 can round to slightly below 1%
+		// of P only via the >=1 clamp; allow the floor effect.
+		if frac > OverloadFracHi {
+			t.Fatalf("N/P = %v out of range", frac)
+		}
+		if p.N < 1 || p.N >= p.P {
+			t.Fatalf("N = %d out of range for P = %d", p.N, p.P)
+		}
+		perPE := p.W0 / float64(p.P)
+		if perPE < W0PerPELo || perPE >= W0PerPEHi {
+			t.Fatalf("W0/P = %g out of range", perPE)
+		}
+		growth := p.DeltaW / perPE
+		if growth < GrowthFracLo || growth >= GrowthFracHi {
+			t.Fatalf("DeltaW fraction = %g out of range", growth)
+		}
+		if p.Alpha < 0 || p.Alpha >= 1 {
+			t.Fatalf("alpha = %g out of range", p.Alpha)
+		}
+		costFrac := p.C * p.Omega / perPE
+		if costFrac < CostFracLo || costFrac >= CostFracHi {
+			t.Fatalf("C fraction = %g out of range", costFrac)
+		}
+		if p.Gamma != Gamma || p.Omega != Omega {
+			t.Fatalf("fixed parameters drifted: %+v", p)
+		}
+	}
+	for _, want := range PChoices {
+		if !seenP[want] {
+			t.Errorf("P = %d never sampled in 2000 draws", want)
+		}
+	}
+	if len(seenP) != len(PChoices) {
+		t.Errorf("unexpected P values: %v", seenP)
+	}
+}
+
+func TestSampleAtPinsFraction(t *testing.T) {
+	g := NewGenerator(3)
+	for _, frac := range Fig3Buckets {
+		p := g.SampleAt(frac)
+		want := int(float64(p.P) * frac)
+		if want < 1 {
+			want = 1
+		}
+		if p.N != want {
+			t.Errorf("frac %v: N = %d, want %d (P=%d)", frac, p.N, want, p.P)
+		}
+		if p.Alpha != 0 {
+			t.Errorf("SampleAt should leave alpha at 0, got %g", p.Alpha)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("frac %v: invalid: %v", frac, err)
+		}
+	}
+}
+
+func TestSampleAtExtremes(t *testing.T) {
+	g := NewGenerator(4)
+	p := g.SampleAt(0) // clamps N to 1
+	if p.N != 1 {
+		t.Errorf("N = %d, want clamp to 1", p.N)
+	}
+	p = g.SampleAt(1) // clamps N to P-1
+	if p.N != p.P-1 {
+		t.Errorf("N = %d, want clamp to P-1 = %d", p.N, p.P-1)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(42).SampleMany(50)
+	b := NewGenerator(42).SampleMany(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instance %d differs between identical seeds", i)
+		}
+	}
+	c := NewGenerator(43).SampleMany(50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical instance streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := NewGenerator(7)
+	s := g.Split()
+	a := g.Sample()
+	b := s.Sample()
+	if a == b {
+		t.Error("split generator mirrors parent")
+	}
+	// Split streams must also be reproducible.
+	g2 := NewGenerator(7)
+	s2 := g2.Split()
+	g2.Sample()
+	if got := s2.Sample(); got != b {
+		t.Error("split stream is not reproducible")
+	}
+}
+
+func TestFig3BucketsShape(t *testing.T) {
+	if len(Fig3Buckets) != 10 {
+		t.Fatalf("Fig. 3 has 10 buckets, got %d", len(Fig3Buckets))
+	}
+	if Fig3Buckets[0] != 0.01 || Fig3Buckets[len(Fig3Buckets)-1] != 0.20 {
+		t.Errorf("bucket endpoints wrong: %v", Fig3Buckets)
+	}
+	for i := 1; i < len(Fig3Buckets); i++ {
+		if Fig3Buckets[i] <= Fig3Buckets[i-1] {
+			t.Errorf("buckets must increase: %v", Fig3Buckets)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 9 {
+		t.Fatalf("Table II has 9 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Name == "" || r.Distribution == "" {
+			t.Errorf("empty row: %+v", r)
+		}
+	}
+}
+
+// Property: every sampled instance satisfies DeltaW = a*P + m*N exactly
+// (workload bookkeeping identity) and has a positive Menon interval.
+func TestInstanceIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewGenerator(seed)
+		p := g.Sample()
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		tau, err := p.MenonTau()
+		return err == nil && tau > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package model
+
+// Continuous-time counterparts of the interval sums. The paper notes that
+// its Eq. (4) is "a discrete version of the continuous expression proposed
+// by Menon et al."; both forms are provided so the discretization error is
+// measurable (it is bounded by half of one iteration's time per interval,
+// verified by tests).
+
+// StdIntervalTimeContinuous integrates Eq. (2) over an interval of length
+// iterations starting right after a LB step at lbp, without the LB cost:
+// integral_0^L [Wtot(lbp)/P + (m+a)t] / omega dt.
+func (p Params) StdIntervalTimeContinuous(lbp int, length float64) float64 {
+	share := p.Wtot(lbp) / float64(p.P)
+	return (share*length + (p.M+p.A)*length*length/2) / p.Omega
+}
+
+// ULBAIntervalTimeContinuous integrates Eq. (5) over an interval of length
+// iterations starting right after a ULBA LB step at lbp, without the LB
+// cost. The integrand switches branch at sigma-(lbp).
+func (p Params) ULBAIntervalTimeContinuous(lbp int, length float64) float64 {
+	share := p.Wtot(lbp) / float64(p.P)
+	sm, err := p.SigmaMinus(lbp)
+	if err != nil {
+		// No overloading PEs: the underloaded branch never ends.
+		over := p.Alpha * float64(p.N) / float64(p.P-p.N)
+		if p.N == 0 {
+			over = 0
+		}
+		return ((1+over)*share*length + p.A*length*length/2) / p.Omega
+	}
+	cross := float64(sm)
+	over := p.Alpha * float64(p.N) / float64(p.P-p.N)
+	if length <= cross {
+		return ((1+over)*share*length + p.A*length*length/2) / p.Omega
+	}
+	first := ((1+over)*share*cross + p.A*cross*cross/2) / p.Omega
+	tail := length - cross
+	// Second branch, integrated from cross to length:
+	// (1-alpha)*share + (m+a)t  for t in [cross, length].
+	second := ((1-p.Alpha)*share*tail + (p.M+p.A)*(length*length-cross*cross)/2) / p.Omega
+	return first + second
+}
+
+// TotalTimeContinuous evaluates a schedule with the continuous interval
+// integrals: the sum over intervals of C plus the integral of the
+// per-iteration time, using the standard (Eq. 2) or ULBA (Eq. 5) integrand.
+// Schedules follow the same convention as package schedule: the listed
+// iterations pay C and reset the ramp; the first interval starts free at 0.
+func (p Params) TotalTimeContinuous(lbIters []int, ulba bool) float64 {
+	total := 0.0
+	prev := 0
+	intervals := append(append([]int(nil), lbIters...), p.Gamma)
+	for k, next := range intervals {
+		if k > 0 {
+			total += p.C
+		}
+		length := float64(next - prev)
+		if ulba {
+			total += p.ULBAIntervalTimeContinuous(prev, length)
+		} else {
+			total += p.StdIntervalTimeContinuous(prev, length)
+		}
+		prev = next
+	}
+	return total
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContinuousMatchesDiscreteStd(t *testing.T) {
+	p := refParams()
+	// Discrete sum over one interval of length L with iteration times at
+	// t = 0..L-1 versus the continuous integral over [0, L]: the
+	// integral of a linear ramp differs from the left Riemann sum by
+	// exactly half the total rise plus nothing else.
+	const L = 37
+	discrete := 0.0
+	for tt := 0; tt < L; tt++ {
+		discrete += p.StdIterTime(0, tt)
+	}
+	cont := p.StdIntervalTimeContinuous(0, L)
+	rise := (p.M + p.A) * L / p.Omega
+	if diff := cont - discrete; diff < 0 || diff > rise {
+		t.Errorf("continuous-discrete gap %g outside [0, %g]", diff, rise)
+	}
+}
+
+func TestContinuousULBABranches(t *testing.T) {
+	p := refParams()
+	sm, err := p.SigmaMinus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the crossing, only the first branch contributes: the value
+	// at length sigma- must equal the single-branch formula.
+	short := p.ULBAIntervalTimeContinuous(0, float64(sm)/2)
+	over := p.Alpha * float64(p.N) / float64(p.P-p.N)
+	share := p.W0 / float64(p.P)
+	l := float64(sm) / 2
+	want := ((1+over)*share*l + p.A*l*l/2) / p.Omega
+	if !almostEqual(short, want, 1e-12) {
+		t.Errorf("pre-crossing integral = %g, want %g", short, want)
+	}
+	// The integral is continuous at the crossing.
+	eps := 1e-6
+	below := p.ULBAIntervalTimeContinuous(0, float64(sm)-eps)
+	above := p.ULBAIntervalTimeContinuous(0, float64(sm)+eps)
+	if !almostEqual(below, above, 1e-6) {
+		t.Errorf("integral discontinuous at sigma-: %g vs %g", below, above)
+	}
+}
+
+func TestContinuousTotalAccountsLBCost(t *testing.T) {
+	p := refParams()
+	none := p.TotalTimeContinuous(nil, false)
+	one := p.TotalTimeContinuous([]int{50}, false)
+	// Adding a mid-run LB with huge C must cost ~C net of savings.
+	p2 := p
+	p2.C = 1e9
+	if got := p2.TotalTimeContinuous([]int{50}, false) - p2.TotalTimeContinuous(nil, false); got < 1e9/2 {
+		t.Errorf("LB cost not accounted: %g", got)
+	}
+	if none <= 0 || one <= 0 {
+		t.Error("continuous totals must be positive")
+	}
+}
+
+func TestContinuousULBANoOverload(t *testing.T) {
+	p := refParams()
+	p.N = 0
+	p.M = 0
+	p.DeltaW = p.A * float64(p.P)
+	got := p.ULBAIntervalTimeContinuous(0, 10)
+	want := p.StdIntervalTimeContinuous(0, 10)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("no-overload ULBA integral %g != std %g", got, want)
+	}
+}
+
+// Property: for any Table II-like instance and schedule, the continuous and
+// discrete totals agree within gamma iterations' worth of ramp rise (the
+// Riemann gap), for both methods.
+func TestContinuousDiscreteGapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomParams(seed)
+		lbIters := []int{p.Gamma / 3, 2 * p.Gamma / 3}
+		for _, ulba := range []bool{false, true} {
+			var discrete float64
+			prev := 0
+			intervals := append(append([]int(nil), lbIters...), p.Gamma)
+			for k, next := range intervals {
+				if k > 0 {
+					discrete += p.C
+				}
+				for tt := 0; tt < next-prev; tt++ {
+					if ulba {
+						discrete += p.ULBAIterTime(prev, tt)
+					} else {
+						discrete += p.StdIterTime(prev, tt)
+					}
+				}
+				prev = next
+			}
+			cont := p.TotalTimeContinuous(lbIters, ulba)
+			// The gap per interval is bounded by the rise of the ramp
+			// over that interval plus one iteration's base time
+			// (branch-crossing rounding).
+			bound := (p.M+p.A)*float64(p.Gamma)/p.Omega*3 + 3*p.Wtot(p.Gamma)/(float64(p.P)*p.Omega)
+			diff := cont - discrete
+			if diff < -bound || diff > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

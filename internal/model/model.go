@@ -1,0 +1,224 @@
+// Package model implements the analytic application model of the paper
+// (Sections II and III): the workload evolution of Eq. (1), the per-iteration
+// parallel time of the standard load-balancing method (Eq. 2) and of ULBA
+// (Eq. 5), the load-balancing interval lower bound sigma- (Eq. 8), the upper
+// bound sigma+ obtained from the quadratic Eq. (12), and Menon's optimal
+// interval tau = sqrt(2*C*omega/m^) as the alpha = 0 special case.
+//
+// Conventions. Workloads are measured in FLOP, PE speed omega in FLOP/s, and
+// the LB cost C in seconds, so all returned times are in seconds. Iterations
+// are indexed from 0, and "t" always denotes the number of iterations elapsed
+// since the previous LB step, exactly as in the paper.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params collects the application parameters of Table I of the paper.
+type Params struct {
+	P     int     // number of processing elements
+	N     int     // number of overloading PEs (0 <= N < P)
+	Gamma int     // number of iterations the application runs
+	W0    float64 // initial total workload Wtot(0), FLOP
+	// DeltaW is the workload difference between consecutive iterations:
+	// DeltaW = a*P + m*N (Eq. 1 context).
+	DeltaW float64
+	A      float64 // workload added to every PE at each iteration, FLOP
+	M      float64 // extra workload added to each overloading PE, FLOP
+	Alpha  float64 // fraction of the balanced share removed from overloading PEs
+	Omega  float64 // PE speed, FLOP/s
+	C      float64 // cost of one LB step, seconds
+}
+
+// Validate checks the structural constraints the model relies on.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0:
+		return fmt.Errorf("model: P = %d, must be positive", p.P)
+	case p.N < 0 || p.N >= p.P:
+		return fmt.Errorf("model: N = %d, must satisfy 0 <= N < P (P=%d)", p.N, p.P)
+	case p.Gamma <= 0:
+		return fmt.Errorf("model: Gamma = %d, must be positive", p.Gamma)
+	case p.W0 < 0:
+		return fmt.Errorf("model: W0 = %g, must be non-negative", p.W0)
+	case p.A < 0 || p.M < 0:
+		return fmt.Errorf("model: a = %g, m = %g, must be non-negative", p.A, p.M)
+	case p.Alpha < 0 || p.Alpha > 1:
+		return fmt.Errorf("model: alpha = %g, must be in [0, 1]", p.Alpha)
+	case p.Omega <= 0:
+		return fmt.Errorf("model: omega = %g, must be positive", p.Omega)
+	case p.C < 0:
+		return fmt.Errorf("model: C = %g, must be non-negative", p.C)
+	}
+	if want := p.A*float64(p.P) + p.M*float64(p.N); !closeRel(p.DeltaW, want, 1e-6) {
+		return fmt.Errorf("model: DeltaW = %g inconsistent with a*P + m*N = %g", p.DeltaW, want)
+	}
+	return nil
+}
+
+// ErrNoOverload is returned by interval computations when m = 0 or N = 0:
+// without overloading PEs no imbalance accrues and no LB interval exists
+// ("if there is no overloading PE then there is no reason to use ULBA").
+var ErrNoOverload = errors.New("model: no overloading PEs (m = 0 or N = 0), intervals are unbounded")
+
+func closeRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Wtot returns the total workload at iteration i, Eq. (1):
+// Wtot(i) = Wtot(0) + i*DeltaW. The workload is conserved globally no matter
+// which LB policy runs; policies only move it between PEs.
+func (p Params) Wtot(i int) float64 {
+	return p.W0 + float64(i)*p.DeltaW
+}
+
+// AHat returns the average workload increase rate of Menon et al.:
+// a^ = a + m*N/P.
+func (p Params) AHat() float64 {
+	return p.A + p.M*float64(p.N)/float64(p.P)
+}
+
+// MHat returns the workload increase rate, additional to AHat, of the most
+// loaded PEs: m^ = m*(P-N)/P. With no overloading PEs (N = 0) nobody
+// receives m, so the rate is zero regardless of m.
+func (p Params) MHat() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return p.M * float64(p.P-p.N) / float64(p.P)
+}
+
+// StdIterTime returns Eq. (2): the parallel time of the t-th iteration after
+// a LB step performed at iteration lbp under the standard method, where the
+// whole workload was spread evenly and the most loaded PE accumulates
+// (m + a) extra FLOP per iteration.
+func (p Params) StdIterTime(lbp, t int) float64 {
+	return (p.Wtot(lbp)/float64(p.P) + (p.M+p.A)*float64(t)) / p.Omega
+}
+
+// ULBAIterTime returns Eq. (5): the parallel time of the t-th iteration after
+// a ULBA LB step at iteration lbp. For t <= sigma-(lbp) the non-overloading
+// PEs dominate (they received the extra share (1 + alpha*N/(P-N)) * Wtot/P
+// and grow at rate a); afterwards the overloading PEs have caught up and
+// dominate (they restarted from (1 - alpha) * Wtot/P and grow at rate m + a).
+func (p Params) ULBAIterTime(lbp, t int) float64 {
+	share := p.Wtot(lbp) / float64(p.P)
+	sm, err := p.SigmaMinus(lbp)
+	if err != nil {
+		// No overloading PEs: everybody grows at rate a forever and the
+		// "underloaded" branch never ends.
+		sm = math.MaxInt64
+	}
+	if t <= sm {
+		over := p.Alpha * float64(p.N) / float64(p.P-p.N)
+		return ((1+over)*share + p.A*float64(t)) / p.Omega
+	}
+	return ((1-p.Alpha)*share + (p.M+p.A)*float64(t)) / p.Omega
+}
+
+// SigmaMinus returns Eq. (8): the number of iterations, after a LB step at
+// iteration i, for the overloading PEs to accumulate the same load as the
+// others. Before sigma- there is no gain in calling the load balancer again
+// because no degradation has built up yet.
+func (p Params) SigmaMinus(i int) (int, error) {
+	if p.N == 0 || p.M == 0 {
+		return 0, ErrNoOverload
+	}
+	v := (1 + float64(p.N)/float64(p.P-p.N)) * p.Alpha * p.Wtot(i) / (p.M * float64(p.P))
+	return int(math.Floor(v)), nil
+}
+
+// MenonTau returns the optimal LB interval of Menon et al. [6],
+// tau = sqrt(2*C*omega/m^), which is also SigmaPlus at alpha = 0.
+func (p Params) MenonTau() (float64, error) {
+	mh := p.MHat()
+	if mh == 0 {
+		return math.Inf(1), ErrNoOverload
+	}
+	return math.Sqrt(2 * p.C * p.Omega / mh), nil
+}
+
+// SigmaPlus returns the LB upper bound of Section III-B for a LB step
+// performed at iteration lbp: sigma+(lbp) = sigma-(lbp) + max(tau1, tau2)
+// where tau solves the quadratic Eq. (12),
+//
+//	m^/(2w)*tau^2 - alpha*N*DeltaW/((P-N)*w*P)*tau
+//	  - [alpha*N/(P-N) * (Wtot(lbp)+sigma-*DeltaW)/(w*P) + C] = 0.
+//
+// The returned value is in (fractional) iterations since the LB step.
+func (p Params) SigmaPlus(lbp int) (float64, error) {
+	mh := p.MHat()
+	if mh == 0 || p.N == 0 || p.M == 0 {
+		return math.Inf(1), ErrNoOverload
+	}
+	sm, err := p.SigmaMinus(lbp)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	w := p.Omega
+	pn := float64(p.P - p.N)
+	fp := float64(p.P)
+	a2 := mh / (2 * w)
+	b2 := -p.Alpha * float64(p.N) * p.DeltaW / (pn * w * fp)
+	c2 := -(p.Alpha*float64(p.N)/pn*(p.Wtot(lbp)+float64(sm)*p.DeltaW)/(w*fp) + p.C)
+	tau, err := maxQuadraticRoot(a2, b2, c2)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return float64(sm) + tau, nil
+}
+
+// maxQuadraticRoot returns the larger real root of a*x^2 + b*x + c = 0.
+func maxQuadraticRoot(a, b, c float64) (float64, error) {
+	if a == 0 {
+		if b == 0 {
+			return 0, errors.New("model: degenerate quadratic")
+		}
+		return -c / b, nil
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, errors.New("model: quadratic has no real roots")
+	}
+	s := math.Sqrt(disc)
+	r1 := (-b + s) / (2 * a)
+	r2 := (-b - s) / (2 * a)
+	return math.Max(r1, r2), nil
+}
+
+// Imbalance cost and overhead — the two sides of the trigger Eq. (9).
+
+// CostImbalance returns Eq. (10): the load-imbalance cost accumulated over
+// tau iterations past sigma-, integral of m^*t/omega dt = m^*tau^2/(2*omega),
+// in seconds.
+func (p Params) CostImbalance(tau float64) float64 {
+	return p.MHat() * tau * tau / (2 * p.Omega)
+}
+
+// CostOverhead returns Eq. (11): the ULBA overhead over an interval that
+// starts at lbp and triggers the next LB at lbp + sigma-(lbp) + tau. It is
+// the workload a single non-overloading PE will gather from the overloading
+// PEs at that next LB step, expressed in seconds.
+func (p Params) CostOverhead(lbp int, tau float64) float64 {
+	sm, err := p.SigmaMinus(lbp)
+	if err != nil {
+		sm = 0
+	}
+	next := p.Wtot(lbp) + (float64(sm)+tau)*p.DeltaW
+	return p.Alpha * float64(p.N) / float64(p.P-p.N) * next / (p.Omega * float64(p.P))
+}
+
+// WithAlpha returns a copy of the parameters with a different alpha.
+func (p Params) WithAlpha(alpha float64) Params {
+	p.Alpha = alpha
+	return p
+}
+
+// String renders the parameters compactly for logs and experiment tables.
+func (p Params) String() string {
+	return fmt.Sprintf("P=%d N=%d gamma=%d W0=%.4g dW=%.4g a=%.4g m=%.4g alpha=%.3f omega=%.3g C=%.4g",
+		p.P, p.N, p.Gamma, p.W0, p.DeltaW, p.A, p.M, p.Alpha, p.Omega, p.C)
+}

@@ -1,0 +1,376 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ulba/internal/stats"
+)
+
+// refParams builds a representative, hand-checkable instance:
+// P=256 PEs, N=25 overloading, 1e9 FLOP/PE initial workload, 10% growth.
+func refParams() Params {
+	p := Params{
+		P:     256,
+		N:     25,
+		Gamma: 100,
+		W0:    2.56e11,
+		Omega: 1e9,
+		Alpha: 0.5,
+	}
+	p.DeltaW = 0.1 * p.W0 / float64(p.P) // 1e8
+	y := 0.9
+	p.A = p.DeltaW * (1 - y) / float64(p.P)
+	p.M = p.DeltaW * y / float64(p.N)
+	p.C = 0.5 * p.W0 / (float64(p.P) * p.Omega)
+	return p
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := refParams().Validate(); err != nil {
+		t.Fatalf("reference params invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := refParams()
+	cases := map[string]func(*Params){
+		"P=0":           func(p *Params) { p.P = 0 },
+		"N<0":           func(p *Params) { p.N = -1 },
+		"N=P":           func(p *Params) { p.N = p.P },
+		"Gamma=0":       func(p *Params) { p.Gamma = 0 },
+		"W0<0":          func(p *Params) { p.W0 = -1 },
+		"a<0":           func(p *Params) { p.A = -1 },
+		"m<0":           func(p *Params) { p.M = -1 },
+		"alpha<0":       func(p *Params) { p.Alpha = -0.1 },
+		"alpha>1":       func(p *Params) { p.Alpha = 1.1 },
+		"omega=0":       func(p *Params) { p.Omega = 0 },
+		"C<0":           func(p *Params) { p.C = -1 },
+		"DeltaW broken": func(p *Params) { p.DeltaW *= 3 },
+	}
+	for name, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", name)
+		}
+	}
+}
+
+func TestWtotLinear(t *testing.T) {
+	p := refParams()
+	if got := p.Wtot(0); got != p.W0 {
+		t.Errorf("Wtot(0) = %g, want %g", got, p.W0)
+	}
+	if got := p.Wtot(10); !almostEqual(got, p.W0+10*p.DeltaW, 1e-12) {
+		t.Errorf("Wtot(10) = %g", got)
+	}
+}
+
+func TestHats(t *testing.T) {
+	p := refParams()
+	// a^ = a + m*N/P, m^ = m*(P-N)/P, and a^ + m^*... consistency:
+	// a^*P + m^*P = a*P + m*N + m*(P-N) = DeltaW + m*(P-N) ... instead
+	// check the direct definitions.
+	wantA := p.A + p.M*float64(p.N)/float64(p.P)
+	wantM := p.M * float64(p.P-p.N) / float64(p.P)
+	if !almostEqual(p.AHat(), wantA, 1e-12) {
+		t.Errorf("AHat = %g, want %g", p.AHat(), wantA)
+	}
+	if !almostEqual(p.MHat(), wantM, 1e-12) {
+		t.Errorf("MHat = %g, want %g", p.MHat(), wantM)
+	}
+	// Identity: a^*P = DeltaW.
+	if !almostEqual(p.AHat()*float64(p.P), p.DeltaW, 1e-9) {
+		t.Errorf("AHat*P = %g, want DeltaW = %g", p.AHat()*float64(p.P), p.DeltaW)
+	}
+}
+
+func TestStdIterTime(t *testing.T) {
+	p := refParams()
+	// Right after a LB step the iteration time is the even share.
+	want := p.W0 / (float64(p.P) * p.Omega)
+	if got := p.StdIterTime(0, 0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdIterTime(0,0) = %g, want %g", got, want)
+	}
+	// It grows linearly at rate (m+a)/omega.
+	t0 := p.StdIterTime(0, 0)
+	t5 := p.StdIterTime(0, 5)
+	if !almostEqual(t5-t0, 5*(p.M+p.A)/p.Omega, 1e-12) {
+		t.Errorf("std growth rate wrong: %g", t5-t0)
+	}
+	// A later LB step starts from a larger workload.
+	if p.StdIterTime(50, 0) <= p.StdIterTime(0, 0) {
+		t.Error("iteration time after later LB step should be larger")
+	}
+}
+
+func TestULBAIterTimeBranches(t *testing.T) {
+	p := refParams()
+	sm, err := p.SigmaMinus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm <= 0 {
+		t.Fatalf("sigma- = %d, want positive for alpha=%g", sm, p.Alpha)
+	}
+	share := p.W0 / float64(p.P)
+	// At t = 0 the non-overloading PEs dominate with the inflated share.
+	want0 := (1 + p.Alpha*float64(p.N)/float64(p.P-p.N)) * share / p.Omega
+	if got := p.ULBAIterTime(0, 0); !almostEqual(got, want0, 1e-12) {
+		t.Errorf("ULBAIterTime(0,0) = %g, want %g", got, want0)
+	}
+	// Before sigma- the slope is a/omega; after it is (m+a)/omega.
+	d1 := p.ULBAIterTime(0, 2) - p.ULBAIterTime(0, 1)
+	if !almostEqual(d1, p.A/p.Omega, 1e-9) {
+		t.Errorf("pre-sigma slope = %g, want %g", d1, p.A/p.Omega)
+	}
+	d2 := p.ULBAIterTime(0, sm+3) - p.ULBAIterTime(0, sm+2)
+	if !almostEqual(d2, (p.M+p.A)/p.Omega, 1e-9) {
+		t.Errorf("post-sigma slope = %g, want %g", d2, (p.M+p.A)/p.Omega)
+	}
+}
+
+func TestULBABranchesCrossNearSigmaMinus(t *testing.T) {
+	p := refParams()
+	sm, _ := p.SigmaMinus(0)
+	share := p.W0 / float64(p.P)
+	// The derivation of Eq. (8): at t = sigma- the overloading PEs'
+	// projected load equals the non-overloading PEs' load, within one
+	// iteration of rounding.
+	overAt := func(t float64) float64 { return (1-p.Alpha)*share + (p.M+p.A)*t }
+	nonAt := func(t float64) float64 {
+		return (1+p.Alpha*float64(p.N)/float64(p.P-p.N))*share + p.A*t
+	}
+	if overAt(float64(sm)) > nonAt(float64(sm))+p.M {
+		t.Errorf("overloading PEs already dominate before sigma-")
+	}
+	if overAt(float64(sm+1)) < nonAt(float64(sm+1))-p.M {
+		t.Errorf("overloading PEs still behind one iteration after sigma-")
+	}
+}
+
+func TestAlphaZeroReducesToStandard(t *testing.T) {
+	p := refParams().WithAlpha(0)
+	for lbp := 0; lbp < 60; lbp += 20 {
+		for tt := 0; tt < 40; tt++ {
+			std := p.StdIterTime(lbp, tt)
+			ul := p.ULBAIterTime(lbp, tt)
+			if !almostEqual(std, ul, 1e-12) {
+				t.Fatalf("alpha=0 mismatch at lbp=%d t=%d: std=%g ulba=%g", lbp, tt, std, ul)
+			}
+		}
+	}
+}
+
+func TestSigmaMinusFormula(t *testing.T) {
+	p := refParams()
+	sm, err := p.SigmaMinus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed: (1 + N/(P-N)) * alpha * Wtot / (m * P)
+	// = (P/(P-N)) * alpha * W0 / (m * P) = alpha*W0/(m*(P-N)).
+	want := math.Floor(p.Alpha * p.W0 / (p.M * float64(p.P-p.N)))
+	if float64(sm) != want {
+		t.Errorf("SigmaMinus = %d, want %v", sm, want)
+	}
+}
+
+func TestSigmaMinusNoOverload(t *testing.T) {
+	p := refParams()
+	p.M = 0
+	p.DeltaW = p.A * float64(p.P)
+	if _, err := p.SigmaMinus(0); err != ErrNoOverload {
+		t.Errorf("expected ErrNoOverload, got %v", err)
+	}
+	p2 := refParams()
+	p2.N = 0
+	p2.DeltaW = p2.A * float64(p2.P)
+	if _, err := p2.SigmaMinus(0); err != ErrNoOverload {
+		t.Errorf("expected ErrNoOverload for N=0, got %v", err)
+	}
+}
+
+func TestSigmaMinusZeroWhenAlphaZero(t *testing.T) {
+	p := refParams().WithAlpha(0)
+	sm, err := p.SigmaMinus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm != 0 {
+		t.Errorf("sigma-(alpha=0) = %d, want 0", sm)
+	}
+}
+
+func TestSigmaPlusReducesToMenonTau(t *testing.T) {
+	p := refParams().WithAlpha(0)
+	sp, err := p.SigmaPlus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := p.MenonTau()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sp, tau, 1e-9) {
+		t.Errorf("sigma+(alpha=0) = %g, want Menon tau = %g", sp, tau)
+	}
+	// And the closed form sqrt(2*C*omega/m^).
+	want := math.Sqrt(2 * p.C * p.Omega / p.MHat())
+	if !almostEqual(tau, want, 1e-12) {
+		t.Errorf("MenonTau = %g, want %g", tau, want)
+	}
+}
+
+func TestSigmaPlusExceedsSigmaMinus(t *testing.T) {
+	p := refParams()
+	sm, _ := p.SigmaMinus(0)
+	sp, err := p.SigmaPlus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= float64(sm) {
+		t.Errorf("sigma+ = %g must exceed sigma- = %d", sp, sm)
+	}
+}
+
+func TestSigmaPlusSolvesEq9(t *testing.T) {
+	// The tau component of sigma+ must satisfy Eq. (9):
+	// CostImbalance(tau) = CostOverhead(lbp, tau) + C.
+	p := refParams()
+	for _, lbp := range []int{0, 10, 40} {
+		sm, _ := p.SigmaMinus(lbp)
+		sp, err := p.SigmaPlus(lbp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau := sp - float64(sm)
+		lhs := p.CostImbalance(tau)
+		rhs := p.CostOverhead(lbp, tau) + p.C
+		if !almostEqual(lhs, rhs, 1e-9) {
+			t.Errorf("lbp=%d: Eq.(9) violated: imbalance %g vs overhead+C %g", lbp, lhs, rhs)
+		}
+	}
+}
+
+func TestSigmaPlusNoOverload(t *testing.T) {
+	p := refParams()
+	p.N = 0
+	p.DeltaW = p.A * float64(p.P)
+	sp, err := p.SigmaPlus(0)
+	if err != ErrNoOverload {
+		t.Errorf("expected ErrNoOverload, got %v", err)
+	}
+	if !math.IsInf(sp, 1) {
+		t.Errorf("sigma+ should be +Inf without overload, got %g", sp)
+	}
+	if _, err := p.MenonTau(); err != ErrNoOverload {
+		t.Errorf("MenonTau should fail without overload")
+	}
+}
+
+func TestSigmaPlusGrowsWithCost(t *testing.T) {
+	p := refParams()
+	cheap, _ := p.SigmaPlus(0)
+	p.C *= 10
+	costly, _ := p.SigmaPlus(0)
+	if costly <= cheap {
+		t.Errorf("more expensive LB should stretch the interval: %g vs %g", costly, cheap)
+	}
+}
+
+func TestCostOverheadLinearInAlpha(t *testing.T) {
+	p := refParams()
+	o1 := p.WithAlpha(0.2).CostOverhead(0, 10)
+	o2 := p.WithAlpha(0.4).CostOverhead(0, 10)
+	// sigma- also depends on alpha, so exact doubling does not hold;
+	// but monotonicity must.
+	if o2 <= o1 {
+		t.Errorf("overhead should grow with alpha: %g vs %g", o1, o2)
+	}
+	if p.WithAlpha(0).CostOverhead(0, 10) != 0 {
+		t.Error("overhead with alpha=0 must be zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	if refParams().String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+// Property: sigma- is non-decreasing in the LB iteration (workload grows).
+func TestSigmaMinusMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomParams(seed)
+		if p.N == 0 || p.M == 0 {
+			return true
+		}
+		prev := -1
+		for i := 0; i < p.Gamma; i += 7 {
+			sm, err := p.SigmaMinus(i)
+			if err != nil {
+				return false
+			}
+			if sm < prev {
+				return false
+			}
+			prev = sm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any valid instance the quadratic of Eq. (12) has a positive
+// root, so sigma+ is always defined when overloading PEs exist.
+func TestSigmaPlusDefinedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomParams(seed)
+		if p.N == 0 || p.M == 0 {
+			return true
+		}
+		sp, err := p.SigmaPlus(0)
+		if err != nil {
+			return false
+		}
+		sm, _ := p.SigmaMinus(0)
+		return sp > float64(sm) && !math.IsNaN(sp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomParams draws a Table II-like instance from a seed. It lives here
+// rather than importing internal/instance to keep the dependency direction
+// clean (instance depends on model).
+func randomParams(seed uint64) Params {
+	r := stats.NewRNG(seed)
+	ps := []int{256, 512, 1024, 2048}
+	p := Params{
+		P:     ps[r.Intn(len(ps))],
+		Gamma: 100,
+		Omega: 1e9,
+	}
+	p.N = int(float64(p.P) * r.Uniform(0.01, 0.2))
+	if p.N < 1 {
+		p.N = 1
+	}
+	p.W0 = r.Uniform(52e7, 1165e7) * float64(p.P)
+	p.DeltaW = p.W0 / float64(p.P) * r.Uniform(0.01, 0.3)
+	y := r.Uniform(0.8, 1.0)
+	p.A = p.DeltaW * (1 - y) / float64(p.P)
+	p.M = p.DeltaW * y / float64(p.N)
+	p.Alpha = r.Float64()
+	p.C = p.W0 / float64(p.P) * r.Uniform(0.1, 3.0) / p.Omega
+	return p
+}
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}

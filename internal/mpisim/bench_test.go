@@ -1,0 +1,81 @@
+package mpisim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := Run(2, testCost(), func(p *Proc) error {
+			if p.Rank() == 0 {
+				p.Send(1, 0, payload)
+				p.Recv(1, 1)
+			} else {
+				p.Recv(0, 0)
+				p.Send(0, 1, payload)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, size := range []int{8, 32} {
+		b.Run(fmt.Sprintf("P=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := Run(size, testCost(), func(p *Proc) error {
+					for r := 0; r < 10; r++ {
+						p.AllreduceSum(float64(p.Rank()))
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	const size = 32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := Run(size, testCost(), func(p *Proc) error {
+			for r := 0; r < 10; r++ {
+				p.Barrier()
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatherBcast(b *testing.B) {
+	const size = 32
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := Run(size, testCost(), func(p *Proc) error {
+			parts := p.Gather(0, payload)
+			var out []byte
+			if p.Rank() == 0 {
+				out = parts[0]
+			}
+			p.Bcast(0, out)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package mpisim is a simulated distributed-memory message-passing runtime:
+// the substrate standing in for MPI in this reproduction (the paper ran on
+// an MPI cluster; Go has no MPI ecosystem).
+//
+// Ranks execute as goroutines and exchange real data through tagged
+// mailboxes, so every algorithmic code path (halo exchange, centralized
+// gather/broadcast, migration, gossip) actually runs. Time is virtual:
+// every rank carries a clock that advances through computation
+// (FLOP / FLOPS) and communication (a Hockney latency/bandwidth model), and
+// a receive can never complete before the matching send's data has arrived.
+// Wall-clock style results (iteration times, LB cost, PE usage) are read off
+// the virtual clocks, which makes runs deterministic and independent of the
+// host machine and the Go scheduler.
+//
+// The model is intentionally simple — a fixed per-message latency, a fixed
+// per-byte cost, and homogeneous PE speed — because the paper's conclusions
+// depend on the relative cost of imbalance versus balancing, not on network
+// topology details.
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+)
+
+// CostModel fixes the virtual-time cost of computation and communication.
+type CostModel struct {
+	// Latency is the per-message CPU + wire latency in seconds (the alpha
+	// of the Hockney model).
+	Latency float64
+	// ByteTime is the transfer time per byte in seconds (1/bandwidth).
+	ByteTime float64
+	// FLOPS is the speed of every PE in FLOP per second (the paper's
+	// omega; homogeneous by assumption).
+	FLOPS float64
+}
+
+// DefaultCostModel resembles a commodity cluster node of the paper's era:
+// ~2 microseconds message latency, 10 GB/s links, 1 GFLOPS per PE (the
+// paper's omega = 1 GFLOPS).
+func DefaultCostModel() CostModel {
+	return CostModel{Latency: 2e-6, ByteTime: 1e-10, FLOPS: 1e9}
+}
+
+// Validate checks the model is physically sensible.
+func (c CostModel) Validate() error {
+	if c.Latency < 0 || c.ByteTime < 0 {
+		return fmt.Errorf("mpisim: negative communication costs: %+v", c)
+	}
+	if c.FLOPS <= 0 {
+		return fmt.Errorf("mpisim: FLOPS must be positive: %+v", c)
+	}
+	return nil
+}
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	payload []byte
+	availAt float64 // virtual time at which the payload is at the receiver
+}
+
+// mailbox holds the pending messages of one rank, keyed by (source, tag),
+// each stream FIFO. Sends are buffered (eager protocol), so a send never
+// blocks; receives block until a matching message exists.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[msgKey][]message)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(key msgKey, msg message) {
+	m.mu.Lock()
+	m.queues[key] = append(m.queues[key], msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) take(key msgKey) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queues[key]) == 0 {
+		m.cond.Wait()
+	}
+	q := m.queues[key]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(m.queues, key)
+	} else {
+		m.queues[key] = q[1:]
+	}
+	return msg
+}
+
+// World is one simulated machine: a set of ranks and their mailboxes.
+type World struct {
+	size  int
+	cost  CostModel
+	boxes []*mailbox
+}
+
+// NewWorld creates a world of size ranks with the given cost model.
+// It panics on invalid arguments; misconfiguration is a programming error.
+func NewWorld(size int, cost CostModel) *World {
+	if size <= 0 {
+		panic("mpisim: world size must be positive")
+	}
+	if err := cost.Validate(); err != nil {
+		panic(err)
+	}
+	w := &World{size: size, cost: cost, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats aggregates the per-rank instrumentation counters. They are
+// maintained out-of-band: reading them costs no virtual time.
+type Stats struct {
+	ComputeTime float64 // seconds spent in Compute
+	SendTime    float64 // seconds of send overhead
+	RecvTime    float64 // seconds of receive overhead (excluding waiting)
+	WaitTime    float64 // seconds idle, waiting for data to arrive
+	MsgsSent    int
+	BytesSent   int64
+}
+
+// Proc is the per-rank handle passed to the SPMD body. A Proc must only be
+// used from the goroutine running its rank.
+type Proc struct {
+	world *World
+	rank  int
+	clock float64
+	stats Stats
+}
+
+// Rank returns this PE's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of PEs in the world.
+func (p *Proc) Size() int { return p.world.size }
+
+// Clock returns the current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Stats returns a snapshot of the instrumentation counters.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// Cost returns the world's cost model.
+func (p *Proc) Cost() CostModel { return p.world.cost }
+
+// Compute advances the clock by flops/FLOPS seconds of pure computation.
+// Negative amounts are a programming error.
+func (p *Proc) Compute(flops float64) {
+	if flops < 0 || math.IsNaN(flops) {
+		panic(fmt.Sprintf("mpisim: rank %d computing invalid FLOP amount %g", p.rank, flops))
+	}
+	dt := flops / p.world.cost.FLOPS
+	p.clock += dt
+	p.stats.ComputeTime += dt
+}
+
+// Elapse advances the clock by dt seconds without attributing the time to
+// computation (e.g. modeled OS noise in fault-injection tests).
+func (p *Proc) Elapse(dt float64) {
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("mpisim: rank %d elapsing invalid duration %g", p.rank, dt))
+	}
+	p.clock += dt
+}
+
+// Send delivers data to dst under tag. The payload is copied, so the caller
+// may reuse its buffer. Sends are buffered and never block. The sender pays
+// one latency of CPU overhead; the data becomes available at the receiver
+// after the full latency plus the serialization time.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	p.SendV(dst, tag, data, len(data))
+}
+
+// SendV is Send with an explicit virtual wire size: the cost model charges
+// for virtualBytes instead of len(data). Simulated applications use it when
+// the in-memory representation is a compressed stand-in for the real
+// payload (e.g. one byte per mesh cell standing in for a full CFD cell
+// state), so communication costs reflect the modeled system rather than
+// the simulation's encoding.
+func (p *Proc) SendV(dst, tag int, data []byte, virtualBytes int) {
+	if dst < 0 || dst >= p.world.size {
+		panic(fmt.Sprintf("mpisim: rank %d sending to invalid rank %d", p.rank, dst))
+	}
+	if virtualBytes < 0 {
+		panic(fmt.Sprintf("mpisim: rank %d sending negative virtual size %d", p.rank, virtualBytes))
+	}
+	start := p.clock
+	cost := p.world.cost
+	p.clock += cost.Latency
+	p.stats.SendTime += cost.Latency
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(virtualBytes)
+	payload := append([]byte(nil), data...)
+	p.world.boxes[dst].put(
+		msgKey{src: p.rank, tag: tag},
+		message{payload: payload, availAt: start + cost.Latency + float64(virtualBytes)*cost.ByteTime},
+	)
+}
+
+// Recv blocks until a message from src with the given tag is available and
+// returns its payload. The receiver waits (idle virtual time) if the data
+// has not arrived yet, then pays one latency of CPU overhead.
+func (p *Proc) Recv(src, tag int) []byte {
+	if src < 0 || src >= p.world.size {
+		panic(fmt.Sprintf("mpisim: rank %d receiving from invalid rank %d", p.rank, src))
+	}
+	msg := p.world.boxes[p.rank].take(msgKey{src: src, tag: tag})
+	if msg.availAt > p.clock {
+		p.stats.WaitTime += msg.availAt - p.clock
+		p.clock = msg.availAt
+	}
+	cost := p.world.cost
+	p.clock += cost.Latency
+	p.stats.RecvTime += cost.Latency
+	return msg.payload
+}
+
+// SendRecv sends to dst and receives from src with the same tag, the
+// canonical halo-exchange step. Because sends are buffered, the combined
+// operation cannot deadlock even when all ranks call it simultaneously.
+func (p *Proc) SendRecv(dst int, sendData []byte, src, tag int) []byte {
+	p.Send(dst, tag, sendData)
+	return p.Recv(src, tag)
+}
+
+// Run executes body as rank goroutines 0..size-1 and waits for all of them.
+// It returns the combined errors of all ranks; a panicking rank is reported
+// as an error carrying its stack trace. On a non-nil return the world must
+// be discarded (mailboxes may hold orphaned messages).
+func Run(size int, cost CostModel, body func(p *Proc) error) error {
+	w := NewWorld(size, cost)
+	return w.Run(body)
+}
+
+// Run executes one SPMD program over this world's ranks.
+func (w *World) Run(body func(p *Proc) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpisim: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+				}
+			}()
+			errs[rank] = body(&Proc{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return joinErrors(errs)
+		}
+	}
+	return nil
+}
+
+// RunCollect is like Run but also returns the final per-rank clocks and
+// stats, which experiment drivers use to compute total wall time
+// (max of clocks) and PE usage.
+func RunCollect(size int, cost CostModel, body func(p *Proc) error) ([]float64, []Stats, error) {
+	w := NewWorld(size, cost)
+	clocks := make([]float64, size)
+	allStats := make([]Stats, size)
+	err := w.Run(func(p *Proc) error {
+		defer func() {
+			clocks[p.rank] = p.clock
+			allStats[p.rank] = p.stats
+		}()
+		return body(p)
+	})
+	return clocks, allStats, err
+}
+
+func joinErrors(errs []error) error {
+	var first error
+	n := 0
+	for _, e := range errs {
+		if e != nil {
+			if first == nil {
+				first = e
+			}
+			n++
+		}
+	}
+	if n <= 1 {
+		return first
+	}
+	return fmt.Errorf("%d ranks failed; first: %w", n, first)
+}

@@ -1,0 +1,331 @@
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ulba/internal/stats"
+)
+
+func testCost() CostModel {
+	return CostModel{Latency: 1e-6, ByteTime: 1e-9, FLOPS: 1e9}
+}
+
+func TestSendRecvPayload(t *testing.T) {
+	err := Run(2, testCost(), func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("hello"))
+			return nil
+		}
+		got := p.Recv(0, 7)
+		if string(got) != "hello" {
+			return fmt.Errorf("payload = %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, testCost(), func(p *Proc) error {
+		if p.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			p.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the message
+			return nil
+		}
+		got := p.Recv(0, 0)
+		if got[0] != 1 {
+			return fmt.Errorf("payload aliased sender buffer: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	const n = 50
+	err := Run(2, testCost(), func(p *Proc) error {
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				p.Send(1, 3, []byte{byte(i)})
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			got := p.Recv(0, 3)
+			if got[0] != byte(i) {
+				return fmt.Errorf("message %d out of order: %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsDoNotCross(t *testing.T) {
+	err := Run(2, testCost(), func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("one"))
+			p.Send(1, 2, []byte("two"))
+			return nil
+		}
+		// Receive in reverse tag order: matching must be by tag.
+		if got := p.Recv(0, 2); string(got) != "two" {
+			return fmt.Errorf("tag 2 = %q", got)
+		}
+		if got := p.Recv(0, 1); string(got) != "one" {
+			return fmt.Errorf("tag 1 = %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClockSemantics(t *testing.T) {
+	cost := testCost()
+	clocks, statsAll, err := RunCollect(2, cost, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Compute(1e6) // 1e6 FLOP at 1e9 FLOPS = 1 ms
+			p.Send(1, 0, make([]byte, 1000))
+			return nil
+		}
+		p.Recv(0, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender: 1ms compute + latency.
+	wantSender := 1e-3 + cost.Latency
+	if !close2(clocks[0], wantSender) {
+		t.Errorf("sender clock = %v, want %v", clocks[0], wantSender)
+	}
+	// Receiver: data available at 1ms + latency + 1000*ByteTime, plus its
+	// own receive overhead.
+	wantRecv := 1e-3 + cost.Latency + 1000*cost.ByteTime + cost.Latency
+	if !close2(clocks[1], wantRecv) {
+		t.Errorf("receiver clock = %v, want %v", clocks[1], wantRecv)
+	}
+	if statsAll[0].ComputeTime != 1e-3 {
+		t.Errorf("sender compute time = %v", statsAll[0].ComputeTime)
+	}
+	if statsAll[1].WaitTime <= 0 {
+		t.Error("receiver should have waited for the data")
+	}
+	if statsAll[0].MsgsSent != 1 || statsAll[0].BytesSent != 1000 {
+		t.Errorf("sender counters wrong: %+v", statsAll[0])
+	}
+}
+
+func TestNoTimeTravel(t *testing.T) {
+	// A receiver that is "ahead" in virtual time does not move backwards.
+	clocks, _, err := RunCollect(2, testCost(), func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 0, []byte{1})
+			return nil
+		}
+		p.Compute(5e6) // receiver is at 5 ms before the data arrives
+		p.Recv(0, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[1] < 5e-3 {
+		t.Errorf("receiver clock went backwards: %v", clocks[1])
+	}
+}
+
+func TestComputePanicsOnNegative(t *testing.T) {
+	err := Run(1, testCost(), func(p *Proc) error {
+		p.Compute(-1)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("negative Compute should be reported as a panic, got %v", err)
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	err := Run(1, testCost(), func(p *Proc) error {
+		p.Send(5, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("sending to invalid rank should fail")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := Run(3, testCost(), func(p *Proc) error {
+		if p.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestMultipleErrorsJoined(t *testing.T) {
+	err := Run(4, testCost(), func(p *Proc) error {
+		if p.Rank()%2 == 0 {
+			return fmt.Errorf("rank %d failed", p.Rank())
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "2 ranks failed") {
+		t.Fatalf("joined error malformed: %v", err)
+	}
+}
+
+func TestSendRecvRingNoDeadlock(t *testing.T) {
+	const size = 16
+	err := Run(size, testCost(), func(p *Proc) error {
+		right := (p.Rank() + 1) % size
+		left := (p.Rank() - 1 + size) % size
+		got := p.SendRecv(right, []byte{byte(p.Rank())}, left, 9)
+		if got[0] != byte(left) {
+			return fmt.Errorf("ring exchange wrong: got %d want %d", got[0], left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicClocks(t *testing.T) {
+	run := func() []float64 {
+		clocks, _, err := RunCollect(8, testCost(), func(p *Proc) error {
+			rng := stats.NewRNG(uint64(p.Rank()))
+			for i := 0; i < 20; i++ {
+				p.Compute(rng.Uniform(1e3, 1e6))
+				p.Barrier()
+			}
+			x := p.AllreduceSum(float64(p.Rank()))
+			p.Compute(x * 100)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clocks
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clocks differ between identical runs: rank %d %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestElapse(t *testing.T) {
+	clocks, statsAll, err := RunCollect(1, testCost(), func(p *Proc) error {
+		p.Elapse(0.25)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[0] != 0.25 {
+		t.Errorf("clock = %v, want 0.25", clocks[0])
+	}
+	if statsAll[0].ComputeTime != 0 {
+		t.Error("Elapse must not count as compute")
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) should panic")
+		}
+	}()
+	NewWorld(0, testCost())
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Errorf("default cost model invalid: %v", err)
+	}
+	if err := (CostModel{Latency: -1, FLOPS: 1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := (CostModel{FLOPS: 0}).Validate(); err == nil {
+		t.Error("zero FLOPS accepted")
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: messages of random sizes arrive intact between random ranks.
+func TestPayloadIntegrityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		size := 2 + rng.Intn(6)
+		n := rng.Intn(2000)
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(rng.Intn(256))
+		}
+		src := rng.Intn(size)
+		dst := (src + 1 + rng.Intn(size-1)) % size
+		ok := true
+		var mu sync.Mutex
+		err := Run(size, testCost(), func(p *Proc) error {
+			switch p.Rank() {
+			case src:
+				p.Send(dst, 5, payload)
+			case dst:
+				got := p.Recv(src, 5)
+				mu.Lock()
+				defer mu.Unlock()
+				if len(got) != len(payload) {
+					ok = false
+					return nil
+				}
+				for i := range got {
+					if got[i] != payload[i] {
+						ok = false
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

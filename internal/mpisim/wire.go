@@ -1,0 +1,95 @@
+package mpisim
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Wire encoding helpers. Payloads travel as []byte so the cost model can
+// charge for their real size; these helpers give the fixed little-endian
+// encodings used across the repository.
+
+// PackFloat64s encodes xs as little-endian IEEE 754 doubles.
+func PackFloat64s(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// UnpackFloat64s decodes the encoding of PackFloat64s. Trailing partial
+// words are a protocol error and panic.
+func UnpackFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("mpisim: float64 payload length not a multiple of 8")
+	}
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// PackInts encodes xs as little-endian int64s.
+func PackInts(xs []int) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(int64(x)))
+	}
+	return b
+}
+
+// UnpackInts decodes the encoding of PackInts.
+func UnpackInts(b []byte) []int {
+	if len(b)%8 != 0 {
+		panic("mpisim: int payload length not a multiple of 8")
+	}
+	xs := make([]int, len(b)/8)
+	for i := range xs {
+		xs[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return xs
+}
+
+// packByteSlices frames a slice of byte slices as
+// [count][len0][bytes0][len1][bytes1]... with uint32 headers.
+func packByteSlices(parts [][]byte) []byte {
+	total := 4
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	b := make([]byte, 0, total)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	b = append(b, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		b = append(b, hdr[:]...)
+		b = append(b, p...)
+	}
+	return b
+}
+
+// unpackByteSlices reverses packByteSlices.
+func unpackByteSlices(b []byte) [][]byte {
+	if len(b) < 4 {
+		panic("mpisim: framed payload too short")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	out := make([][]byte, n)
+	for i := range out {
+		if len(b) < 4 {
+			panic("mpisim: framed payload truncated header")
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			panic("mpisim: framed payload truncated body")
+		}
+		out[i] = append([]byte(nil), b[:l]...)
+		b = b[l:]
+	}
+	return out
+}

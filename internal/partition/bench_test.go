@@ -1,0 +1,55 @@
+package partition
+
+import (
+	"testing"
+
+	"ulba/internal/stats"
+)
+
+func benchWeights(n int) []float64 {
+	rng := stats.NewRNG(1)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Uniform(50, 500)
+	}
+	return w
+}
+
+func BenchmarkStripes(b *testing.B) {
+	w := benchWeights(8192)
+	targets := EvenTargets(stats.Sum(w), 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Stripes(w, targets)
+	}
+}
+
+func BenchmarkTargets(b *testing.B) {
+	alphas := make([]float64, 256)
+	alphas[7] = 0.4
+	alphas[42] = 0.4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Targets(1e9, alphas)
+	}
+}
+
+func BenchmarkTransfers(b *testing.B) {
+	w := benchWeights(8192)
+	oldB := Stripes(w, EvenTargets(stats.Sum(w), 64))
+	alphas := make([]float64, 64)
+	alphas[10] = 0.4
+	newB := Stripes(w, Targets(stats.Sum(w), alphas))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Transfers(oldB, newB)
+	}
+}
+
+func BenchmarkRecursiveBisection(b *testing.B) {
+	w := benchWeights(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = RecursiveBisection(w, 64)
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// Running accumulates mean and variance online using Welford's algorithm.
+// The zero value is ready to use. It is the bookkeeping behind the runtime's
+// average-LB-cost estimate (the C of the paper's trigger) and the WIR
+// database statistics.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations so far.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or NaN before any observation.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance, or NaN before any
+// observation.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset clears the accumulator.
+func (r *Running) Reset() { *r = Running{} }
+
+// Window is a fixed-capacity sliding window of float64 observations.
+// It backs the median-of-last-three iteration-time smoothing of Algorithm 1
+// and the sliding-window WIR regression.
+type Window struct {
+	buf  []float64
+	head int
+	full bool
+}
+
+// NewWindow returns a window holding at most capacity observations.
+// It panics if capacity is not positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic("stats: window capacity must be positive")
+	}
+	return &Window{buf: make([]float64, 0, capacity)}
+}
+
+// Push appends an observation, evicting the oldest if the window is full.
+func (w *Window) Push(x float64) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, x)
+		return
+	}
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % cap(w.buf)
+	w.full = true
+}
+
+// Len returns the number of observations currently held.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Values returns the observations in insertion order (oldest first).
+// The returned slice is freshly allocated.
+func (w *Window) Values() []float64 {
+	out := make([]float64, 0, len(w.buf))
+	for i := 0; i < len(w.buf); i++ {
+		out = append(out, w.buf[(w.head+i)%len(w.buf)])
+	}
+	return out
+}
+
+// Median returns the median of the current window contents.
+func (w *Window) Median() float64 { return Median(w.buf) }
+
+// Mean returns the mean of the current window contents.
+func (w *Window) Mean() float64 { return Mean(w.buf) }
+
+// Reset empties the window without releasing its storage.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.head = 0
+	w.full = false
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Errorf("N = %d, want %d", r.N(), len(xs))
+	}
+	if !almostEqual(r.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("running mean %v != batch %v", r.Mean(), Mean(xs))
+	}
+	if !almostEqual(r.Variance(), Variance(xs), 1e-12) {
+		t.Errorf("running variance %v != batch %v", r.Variance(), Variance(xs))
+	}
+	if !almostEqual(r.StdDev(), StdDev(xs), 1e-12) {
+		t.Errorf("running stddev %v != batch %v", r.StdDev(), StdDev(xs))
+	}
+}
+
+func TestRunningEmptyAndReset(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) {
+		t.Error("empty Running should report NaN")
+	}
+	r.Add(5)
+	r.Reset()
+	if r.N() != 0 || !math.IsNaN(r.Mean()) {
+		t.Error("Reset did not clear the accumulator")
+	}
+}
+
+func TestRunningMatchesBatchProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.Uniform(-1e3, 1e3)
+			r.Add(xs[i])
+		}
+		return almostEqual(r.Mean(), Mean(xs), 1e-9) &&
+			almostEqual(r.Variance(), Variance(xs), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for i := 1; i <= 5; i++ {
+		w.Push(float64(i))
+	}
+	got := w.Values()
+	want := []float64{3, 4, 5}
+	if len(got) != 3 {
+		t.Fatalf("window length = %d, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Values = %v, want %v", got, want)
+			break
+		}
+	}
+	if w.Median() != 4 {
+		t.Errorf("Median = %v, want 4", w.Median())
+	}
+	if w.Mean() != 4 {
+		t.Errorf("Mean = %v, want 4", w.Mean())
+	}
+}
+
+func TestWindowPartial(t *testing.T) {
+	w := NewWindow(5)
+	w.Push(10)
+	w.Push(20)
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+	vals := w.Values()
+	if len(vals) != 2 || vals[0] != 10 || vals[1] != 20 {
+		t.Errorf("Values = %v", vals)
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Error("Reset did not empty window")
+	}
+}
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) should panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: a window of capacity c always holds the last min(c, pushes)
+// values in order.
+func TestWindowOrderProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		c := 1 + rng.Intn(10)
+		n := rng.Intn(50)
+		w := NewWindow(c)
+		all := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := rng.Float64()
+			all = append(all, x)
+			w.Push(x)
+		}
+		want := all
+		if len(all) > c {
+			want = all[len(all)-c:]
+		}
+		got := w.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package trace renders experiment results for terminals and files: aligned
+// text tables, CSV series, and ASCII sparkline plots of time series such as
+// the PE-usage traces of Fig. 4b. It is presentation-only; all measurement
+// lives in the runner and experiment drivers.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddStringRow appends a pre-formatted row.
+func (t *Table) AddStringRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table with padded columns and a header rule.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	fmt.Fprintln(w, line(t.header))
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as comma-separated values. Cells containing
+// commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkLevels are the eight block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a one-line block-character plot scaled to
+// [min, max] of the data. Empty input renders as an empty string.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		level := 0
+		if max > min {
+			level = int((x - min) / (max - min) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}
+
+// Downsample reduces a series to at most n points by averaging buckets,
+// keeping sparkline plots terminal-width friendly.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(xs) / n
+		hi := (i + 1) * len(xs) / n
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, x := range xs[lo:hi] {
+			sum += x
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// UsagePlot renders a labeled PE-usage trace (values in [0,1]) with LB-call
+// markers, the terminal analogue of Fig. 4b: one sparkline row for the
+// usage, one marker row with '^' under iterations where the balancer ran.
+func UsagePlot(label string, usage []float64, lbIters []int, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	ds := Downsample(usage, width)
+	markers := make([]rune, len(ds))
+	for i := range markers {
+		markers[i] = ' '
+	}
+	for _, it := range lbIters {
+		pos := it * len(ds) / len(usage)
+		if pos >= len(ds) {
+			pos = len(ds) - 1
+		}
+		markers[pos] = '^'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  usage |%s|\n  LB    |%s|\n", label, Sparkline(ds), string(markers))
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 0.4)
+	tb.AddRow("long-name-here", 123456.789)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "0.4") {
+		t.Errorf("row content missing:\n%s", out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Column b must start at the same offset in every data row.
+	posY := strings.Index(lines[2], "y")
+	posZ := strings.Index(lines[3], "z")
+	if posY != posZ {
+		t.Errorf("columns misaligned: %d vs %d\n%s", posY, posZ, tb.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddStringRow("plain", "1")
+	tb.AddStringRow(`with,comma`, `with"quote`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "k,v\n") {
+		t.Errorf("CSV header wrong: %s", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("extremes wrong: %s", s)
+	}
+	// Constant series: all minimum level.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render at level 0: %s", string(flat))
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := []float64{1, 1, 3, 3, 5, 5}
+	out := Downsample(xs, 3)
+	want := []float64{1, 3, 5}
+	if len(out) != 3 {
+		t.Fatalf("length = %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("Downsample = %v, want %v", out, want)
+		}
+	}
+	// No-op cases copy.
+	same := Downsample(xs, 100)
+	if len(same) != len(xs) {
+		t.Error("upsample should copy")
+	}
+	same[0] = 99
+	if xs[0] == 99 {
+		t.Error("Downsample aliases input")
+	}
+	if got := Downsample(xs, 0); len(got) != len(xs) {
+		t.Error("n=0 should copy")
+	}
+}
+
+func TestUsagePlot(t *testing.T) {
+	usage := make([]float64, 100)
+	for i := range usage {
+		usage[i] = 0.5
+	}
+	out := UsagePlot("standard", usage, []int{0, 50, 99}, 50)
+	if !strings.Contains(out, "standard") {
+		t.Error("label missing")
+	}
+	if !strings.Contains(out, "^") {
+		t.Error("LB markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d", len(lines))
+	}
+	// Marker row has carets at start, middle, end.
+	markers := lines[2]
+	if !strings.Contains(markers, "^") {
+		t.Error("no carets rendered")
+	}
+	// Zero width falls back to default.
+	if UsagePlot("x", usage, nil, 0) == "" {
+		t.Error("zero width should still render")
+	}
+}
