@@ -1,45 +1,54 @@
 // Command ulba-erosion runs the fluid-with-erosion application (Section
 // IV-B of the paper) on the simulated distributed-memory runtime under a
-// chosen load-balancing method and prints the measured timings, the LB call
-// history, and a terminal rendering of the PE-usage trace. With -compare it
-// runs both the standard method and ULBA on the identical instance (the
-// counter-based physics guarantee the same erosion either way) and reports
-// the gain.
+// chosen load-balancing method and trigger, and prints the measured
+// timings, the LB call history, and a terminal rendering of the PE-usage
+// trace. With -compare it runs both the standard method and the configured
+// one on the identical instance (the counter-based physics guarantee the
+// same erosion either way) and reports the gain.
+//
+// The trigger is selected by registry name (see ulba.TriggerNames):
+// degradation (default), menon, periodic, never.
 //
 // Examples:
 //
 //	ulba-erosion -P 32 -rocks 1 -alpha 0.4 -compare
 //	ulba-erosion -P 64 -method ulba -iters 200 -csv usage.csv
+//	ulba-erosion -P 32 -trigger periodic -period 15
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"ulba"
+	"ulba/internal/cli"
 	"ulba/internal/experiments"
-	"ulba/internal/lb"
 	"ulba/internal/trace"
 )
 
 func main() {
 	var (
-		p       = flag.Int("P", 32, "number of PEs (= stripes = rocks)")
-		rocks   = flag.Int("rocks", 1, "number of strongly erodible rocks")
-		alpha   = flag.Float64("alpha", 0.4, "ULBA underloading fraction")
-		method  = flag.String("method", "ulba", "lb method: standard | ulba | none")
-		iters   = flag.Int("iters", 120, "iterations")
-		width   = flag.Int("stripewidth", 192, "columns per initial stripe")
-		height  = flag.Int("height", 400, "rows")
-		radius  = flag.Int("radius", 48, "rock disc radius (cells)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		zthr    = flag.Float64("z", 3.0, "overload z-score threshold")
-		compare = flag.Bool("compare", false, "run standard AND the chosen method, report the gain")
-		rcb     = flag.Bool("rcb", false, "use recursive bisection (standard method only)")
-		csvPath = flag.String("csv", "", "write per-iteration time/usage series to this CSV file")
-		plotW   = flag.Int("plotwidth", 100, "terminal width of the usage plots")
+		p        = flag.Int("P", 32, "number of PEs (= stripes = rocks)")
+		rocks    = flag.Int("rocks", 1, "number of strongly erodible rocks")
+		alpha    = flag.Float64("alpha", 0.4, "ULBA underloading fraction")
+		method   = flag.String("method", "ulba", "lb method: standard | ulba | none")
+		trigName = flag.String("trigger", "degradation", fmt.Sprintf("runtime trigger, one of %v", ulba.TriggerNames()))
+		period   = flag.Int("period", 10, "interval for -trigger periodic")
+		iters    = flag.Int("iters", 120, "iterations")
+		width    = flag.Int("stripewidth", 192, "columns per initial stripe")
+		height   = flag.Int("height", 400, "rows")
+		radius   = flag.Int("radius", 48, "rock disc radius (cells)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		zthr     = flag.Float64("z", 3.0, "overload z-score threshold")
+		compare  = flag.Bool("compare", false, "run standard AND the chosen method, report the gain")
+		rcb      = flag.Bool("rcb", false, "use recursive bisection (standard method only)")
+		csvPath  = flag.String("csv", "", "write per-iteration time/usage series to this CSV file")
+		plotW    = flag.Int("plotwidth", 100, "terminal width of the usage plots")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	scale := experiments.DefaultScale()
 	scale.StripeWidth = *width
@@ -47,41 +56,82 @@ func main() {
 	scale.Radius = *radius
 	scale.Iterations = *iters
 
-	build := func(m lb.Method) lb.Config {
-		cfg := scale.LBConfig(*p, *rocks, *seed, m, *alpha)
-		cfg.ZThreshold = *zthr
-		cfg.UseRCB = *rcb && m == lb.Standard
-		return cfg
-	}
-
-	var m lb.Method
+	var m ulba.Method
 	noLB := false
 	switch *method {
 	case "standard":
-		m = lb.Standard
+		m = ulba.Standard
 	case "ulba":
-		m = lb.ULBA
+		m = ulba.ULBA
 	case "none":
-		m = lb.Standard
+		m = ulba.Standard
 		noLB = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
 		os.Exit(2)
 	}
 
-	cfg := build(m)
-	if noLB {
-		cfg.Trigger = lb.TriggerNever
-		cfg.WarmupLB = -1
+	// The -trigger flag drives the configured run (and the -compare
+	// baseline); -method none overrides the run's trigger to never but
+	// leaves the baseline reactive, so the comparison stays
+	// static-vs-standard.
+	trig, err := ulba.NewTrigger(*trigName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	res, err := lb.Run(cfg)
+	trig = cli.ConfigureTrigger(trig, *period)
+	runTrig := trig
+	if noLB {
+		runTrig = ulba.NeverTrigger{}
+	}
+
+	build := func(m ulba.Method, t ulba.Trigger) *ulba.Experiment {
+		exp, err := ulba.New(*p,
+			ulba.WithMethod(m),
+			ulba.WithAlpha(*alpha),
+			ulba.WithApp(scale.App(*p, *rocks, *seed)),
+			ulba.WithCostModel(experiments.Cost()),
+			ulba.WithIterations(*iters),
+			ulba.WithZThreshold(*zthr),
+			ulba.WithRCB(*rcb && m == ulba.Standard),
+			ulba.WithTrigger(t),
+			ulba.WithWorkers(2),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "invalid experiment:", err)
+			os.Exit(2)
+		}
+		return exp
+	}
+	exp := build(m, runTrig)
+
+	// With -compare, one Compare call yields both runs; otherwise run the
+	// configured method alone. A -method none comparison needs its own
+	// baseline experiment, since the baseline must keep load balancing.
+	var res ulba.RunResult
+	var cmp ulba.MethodComparison
+	switch {
+	case *compare && noLB:
+		cmp.Baseline, err = build(ulba.Standard, trig).Run(ctx)
+		if err == nil {
+			cmp.Result, err = exp.Run(ctx)
+		}
+		res = cmp.Result
+	case *compare:
+		cmp, err = exp.Compare(ctx)
+		res = cmp.Result
+	default:
+		res, err = exp.Run(ctx)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s: P=%d rocks=%d alpha=%.2f iters=%d domain=%dx%d\n",
-		*method, *p, *rocks, *alpha, *iters, cfg.App.Width(), cfg.App.Height)
+	cfg := exp.Config()
+	fmt.Printf("%s (trigger %s): P=%d rocks=%d alpha=%.2f iters=%d domain=%dx%d\n",
+		*method, runTrig.Name(), *p, *rocks, *alpha, *iters, cfg.App.Width(), cfg.App.Height)
 	fmt.Printf("total time      : %.6f s (virtual)\n", res.TotalTime)
 	fmt.Printf("mean PE usage   : %.3f\n", res.MeanUsage())
 	fmt.Printf("LB calls        : %d at %v\n", res.LBCount(), res.LBIters)
@@ -92,16 +142,12 @@ func main() {
 	fmt.Print(trace.UsagePlot(*method, res.Usage, res.LBIters, *plotW))
 
 	if *compare {
-		stdRes, err := lb.Run(build(lb.Standard))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "standard run failed:", err)
-			os.Exit(1)
-		}
+		std := cmp.Baseline
 		fmt.Println()
-		fmt.Print(trace.UsagePlot("standard", stdRes.Usage, stdRes.LBIters, *plotW))
-		fmt.Printf("\nstandard: %.6f s with %d LB calls\n", stdRes.TotalTime, stdRes.LBCount())
-		fmt.Printf("%-8s: %.6f s with %d LB calls\n", *method, res.TotalTime, res.LBCount())
-		fmt.Printf("gain: %+.2f%%\n", 100*(stdRes.TotalTime-res.TotalTime)/stdRes.TotalTime)
+		fmt.Print(trace.UsagePlot("standard", std.Usage, std.LBIters, *plotW))
+		fmt.Printf("\nstandard: %.6f s with %d LB calls\n", std.TotalTime, std.LBCount())
+		fmt.Printf("%-8s: %.6f s with %d LB calls\n", *method, cmp.Result.TotalTime, cmp.Result.LBCount())
+		fmt.Printf("gain: %+.2f%% (%.1f%% of LB calls avoided)\n", 100*cmp.Gain(), 100*cmp.CallsAvoided())
 	}
 
 	if *csvPath != "" {
@@ -113,7 +159,7 @@ func main() {
 	}
 }
 
-func writeCSV(path string, res lb.Result) error {
+func writeCSV(path string, res ulba.RunResult) error {
 	tb := trace.NewTable("iteration", "time_s", "usage")
 	for i := range res.IterTimes {
 		tb.AddStringRow(

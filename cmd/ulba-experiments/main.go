@@ -3,14 +3,25 @@
 // they appear in the paper. The output of this command is the source of the
 // measured numbers recorded in EXPERIMENTS.md.
 //
+// The LB policies are selected by registry name: -planner picks the
+// schedule planner the Fig. 3 sweep evaluates ULBA on (see
+// ulba.PlannerNames), -trigger picks the runtime trigger the Fig. 4
+// erosion runs use (see ulba.TriggerNames). With -json, per-instance and
+// per-cell results are printed as one JSON object per line on stdout so
+// BENCH_*.json trajectories can be collected across runs.
+//
 // Examples:
 //
 //	ulba-experiments -all                 # default scale, everything
 //	ulba-experiments -fig4a -scale bench  # quick shape check
 //	ulba-experiments -fig2 -instances 1000
+//	ulba-experiments -fig3 -planner anneal -instances 50 -json
+//	ulba-experiments -fig4a -trigger periodic -period 15
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,30 +30,38 @@ import (
 	"strings"
 	"time"
 
+	"ulba"
+	"ulba/internal/cli"
 	"ulba/internal/experiments"
 	"ulba/internal/simulate"
 )
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "run every experiment")
-		table1    = flag.Bool("table1", false, "print Table I")
-		table2    = flag.Bool("table2", false, "print Table II")
-		fig2      = flag.Bool("fig2", false, "run Fig. 2 (sigma+ vs annealing)")
-		fig3      = flag.Bool("fig3", false, "run Fig. 3 (gain vs overloading %)")
-		fig4a     = flag.Bool("fig4a", false, "run Fig. 4a (erosion performance grid)")
-		fig4b     = flag.Bool("fig4b", false, "run Fig. 4b (usage traces)")
-		fig5      = flag.Bool("fig5", false, "run Fig. 5 (alpha sweep)")
-		scaleName = flag.String("scale", "default", "erosion experiment scale: bench | default | paper")
-		instances = flag.Int("instances", 200, "instances for Fig. 2 / per bucket for Fig. 3 (paper: 1000)")
-		alphaGrid = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
-		pes       = flag.String("pes", "16,32,64", "comma-separated PE counts for Fig. 4a/5 (paper: 32,64,128,256)")
-		fig4bPE   = flag.Int("fig4b-pes", 32, "PE count for Fig. 4b (paper: 32)")
-		alpha     = flag.Float64("alpha", 0.4, "ULBA alpha for Fig. 4 (paper: 0.4)")
-		seed      = flag.Uint64("seed", 2019, "seed for the synthetic experiments")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the synthetic experiments")
+		all         = flag.Bool("all", false, "run every experiment")
+		table1      = flag.Bool("table1", false, "print Table I")
+		table2      = flag.Bool("table2", false, "print Table II")
+		fig2        = flag.Bool("fig2", false, "run Fig. 2 (sigma+ vs annealing)")
+		fig3        = flag.Bool("fig3", false, "run Fig. 3 (gain vs overloading %)")
+		fig4a       = flag.Bool("fig4a", false, "run Fig. 4a (erosion performance grid)")
+		fig4b       = flag.Bool("fig4b", false, "run Fig. 4b (usage traces)")
+		fig5        = flag.Bool("fig5", false, "run Fig. 5 (alpha sweep)")
+		scaleName   = flag.String("scale", "default", "erosion experiment scale: bench | default | paper")
+		instances   = flag.Int("instances", 200, "instances for Fig. 2 / per bucket for Fig. 3 (paper: 1000)")
+		alphaGrid   = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
+		pes         = flag.String("pes", "16,32,64", "comma-separated PE counts for Fig. 4a/5 (paper: 32,64,128,256)")
+		fig4bPE     = flag.Int("fig4b-pes", 32, "PE count for Fig. 4b (paper: 32)")
+		alpha       = flag.Float64("alpha", 0.4, "ULBA alpha for Fig. 4 (paper: 0.4)")
+		plannerName = flag.String("planner", "sigma+", fmt.Sprintf("Fig. 3 schedule planner, one of %v", ulba.PlannerNames()))
+		trigName    = flag.String("trigger", "degradation", fmt.Sprintf("Fig. 4 runtime trigger, one of %v", ulba.TriggerNames()))
+		period      = flag.Int("period", 10, "interval for -planner/-trigger periodic")
+		annealSteps = flag.Int("annealsteps", 20000, "proposals for -planner anneal and Fig. 2")
+		seed        = flag.Uint64("seed", 2019, "seed for the synthetic experiments")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the synthetic experiments")
+		jsonOut     = flag.Bool("json", false, "print one JSON object per instance/cell on stdout (summaries go to stderr)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	if *all {
 		*table1, *table2, *fig2, *fig3, *fig4a, *fig4b, *fig5 = true, true, true, true, true, true, true
@@ -65,62 +84,133 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	if *trigName != "degradation" {
+		trig, err := ulba.NewTrigger(*trigName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		trig = cli.ConfigureTrigger(trig, *period)
+		scale.TriggerFactory = trig.New
+		if *trigName == "never" {
+			scale.WarmupLB = -1 // static baseline: no forced warmup call either
+		}
+	}
+	planner, err := ulba.NewPlanner(*plannerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	planner = cli.ConfigurePlanner(planner, *period, *annealSteps, *seed)
 	ps, err := parseInts(*pes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bad -pes:", err)
 		os.Exit(2)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+	}
+	out := os.Stdout
+	if *jsonOut {
+		out = os.Stderr // keep stdout machine-readable
+	}
 	section := func(name string, run func()) {
 		start := time.Now()
-		fmt.Printf("==== %s ====\n", name)
+		fmt.Fprintf(out, "==== %s ====\n", name)
 		run()
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
 	if *table1 {
 		section("Table I: model parameters", func() {
-			fmt.Print(experiments.RenderTable1())
+			fmt.Fprint(out, experiments.RenderTable1())
 		})
 	}
 	if *table2 {
 		section("Table II: random application parameter distributions", func() {
-			fmt.Print(experiments.RenderTable2())
+			fmt.Fprint(out, experiments.RenderTable2())
 		})
 	}
 	if *fig2 {
 		section(fmt.Sprintf("Fig. 2: sigma+ vs simulated annealing (%d instances)", *instances), func() {
 			res := simulate.RunFig2(simulate.Fig2Config{
-				Instances: *instances, Seed: *seed, Workers: *workers,
+				Instances: *instances, AnnealSteps: *annealSteps, Seed: *seed, Workers: *workers,
 			})
-			fmt.Print(experiments.RenderFig2(res))
+			if *jsonOut {
+				for i, g := range res.Gains {
+					emit(map[string]any{"experiment": "fig2", "instance": i, "gain": g})
+				}
+			}
+			fmt.Fprint(out, experiments.RenderFig2(res))
 		})
 	}
 	if *fig3 {
-		section(fmt.Sprintf("Fig. 3: ULBA vs standard on the model (%d instances/bucket)", *instances), func() {
-			buckets := simulate.RunFig3(simulate.Fig3Config{
-				InstancesPerBucket: *instances, AlphaGridSize: *alphaGrid,
-				Seed: *seed, Workers: *workers,
-			})
-			fmt.Print(experiments.RenderFig3(buckets))
+		section(fmt.Sprintf("Fig. 3: ULBA vs standard on the model (%d instances/bucket, planner %s)",
+			*instances, planner.Name()), func() {
+			var visit func(frac float64, i int, c ulba.Comparison)
+			if *jsonOut {
+				visit = func(frac float64, i int, c ulba.Comparison) {
+					emit(map[string]any{
+						"experiment": "fig3", "planner": planner.Name(), "fraction": frac,
+						"instance": i, "std_time": c.StdTime, "ulba_time": c.ULBATime,
+						"best_alpha": c.BestAlpha, "gain": c.Gain,
+					})
+				}
+			}
+			buckets, err := cli.RunFig3Sweep(ctx, planner, *instances, *alphaGrid, *seed, *workers, visit)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Fprint(out, experiments.RenderFig3(buckets))
 		})
 	}
 	if *fig4a {
-		section(fmt.Sprintf("Fig. 4a: erosion application, standard vs ULBA (scale %s)", *scaleName), func() {
+		section(fmt.Sprintf("Fig. 4a: erosion application, standard vs ULBA (scale %s, trigger %s)",
+			*scaleName, *trigName), func() {
 			cells := experiments.RunFig4a(scale, ps, []int{1, 2, 3}, *alpha)
-			fmt.Print(experiments.RenderFig4a(cells))
+			if *jsonOut {
+				for _, c := range cells {
+					emit(map[string]any{
+						"experiment": "fig4a", "trigger": *trigName, "pes": c.P, "rocks": c.Rocks,
+						"std_time": c.StdTime, "ulba_time": c.ULBATime,
+						"std_calls": c.StdCalls, "ulba_calls": c.ULBACall, "gain": c.Gain,
+					})
+				}
+			}
+			fmt.Fprint(out, experiments.RenderFig4a(cells))
 		})
 	}
 	if *fig4b {
 		section(fmt.Sprintf("Fig. 4b: PE usage traces, %d PEs, 1 strong rock", *fig4bPE), func() {
 			res := experiments.RunFig4b(scale, *fig4bPE, *alpha)
-			fmt.Print(experiments.RenderFig4b(res, 100))
+			if *jsonOut {
+				emit(map[string]any{
+					"experiment": "fig4b", "trigger": *trigName, "pes": *fig4bPE,
+					"std_calls": res.Std.LBCount(), "ulba_calls": res.ULBA.LBCount(),
+					"calls_avoided": res.CallReduction(),
+					"std_usage":     res.Std.MeanUsage(), "ulba_usage": res.ULBA.MeanUsage(),
+				})
+			}
+			fmt.Fprint(out, experiments.RenderFig4b(res, 100))
 		})
 	}
 	if *fig5 {
 		section("Fig. 5: ULBA total time vs alpha (1 strong rock)", func() {
 			points := experiments.RunFig5(scale, ps, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
-			fmt.Print(experiments.RenderFig5(points))
+			if *jsonOut {
+				for _, pt := range points {
+					emit(map[string]any{
+						"experiment": "fig5", "pes": pt.P, "alpha": pt.Alpha, "time": pt.Time,
+					})
+				}
+			}
+			fmt.Fprint(out, experiments.RenderFig5(points))
 		})
 	}
 }

@@ -1,12 +1,15 @@
 // Command ulba-model evaluates the paper's analytic application model for a
 // given parameter set: the LB interval bounds sigma- and sigma+, Menon's
-// tau, the LB schedules both methods build, and the resulting total
-// parallel times of the standard method and ULBA.
+// tau, the LB schedules built by a registry-selected planner, and the
+// resulting total parallel times of the standard method and ULBA.
+//
+// The planner is selected by registry name (see ulba.PlannerNames):
+// sigma+ (default), menon, periodic, anneal.
 //
 // Example:
 //
 //	ulba-model -P 256 -N 25 -gamma 100 -w0 2.56e11 -growth 0.1 -skew 0.9 \
-//	           -alpha 0.5 -costfrac 0.5
+//	           -alpha 0.5 -costfrac 0.5 -planner anneal
 package main
 
 import (
@@ -14,26 +17,29 @@ import (
 	"fmt"
 	"os"
 
+	"ulba"
+	"ulba/internal/cli"
 	"ulba/internal/experiments"
-	"ulba/internal/model"
-	"ulba/internal/schedule"
-	"ulba/internal/simulate"
 	"ulba/internal/trace"
 )
 
 func main() {
 	var (
-		p        = flag.Int("P", 256, "number of PEs")
-		n        = flag.Int("N", 25, "number of overloading PEs")
-		gamma    = flag.Int("gamma", 100, "iterations")
-		w0       = flag.Float64("w0", 2.56e11, "initial total workload (FLOP)")
-		growth   = flag.Float64("growth", 0.1, "workload growth per iteration as a fraction of W0/P")
-		skew     = flag.Float64("skew", 0.9, "fraction y of the growth concentrated on overloading PEs")
-		alpha    = flag.Float64("alpha", 0.5, "ULBA underloading fraction")
-		omega    = flag.Float64("omega", 1e9, "PE speed (FLOP/s)")
-		costfrac = flag.Float64("costfrac", 0.5, "LB cost as a fraction of one iteration's compute time")
-		grid     = flag.Int("bestalpha", 0, "if > 0, also scan this many alphas for the best one")
-		table1   = flag.Bool("table1", false, "print Table I (parameter glossary) and exit")
+		p           = flag.Int("P", 256, "number of PEs")
+		n           = flag.Int("N", 25, "number of overloading PEs")
+		gamma       = flag.Int("gamma", 100, "iterations")
+		w0          = flag.Float64("w0", 2.56e11, "initial total workload (FLOP)")
+		growth      = flag.Float64("growth", 0.1, "workload growth per iteration as a fraction of W0/P")
+		skew        = flag.Float64("skew", 0.9, "fraction y of the growth concentrated on overloading PEs")
+		alpha       = flag.Float64("alpha", 0.5, "ULBA underloading fraction")
+		omega       = flag.Float64("omega", 1e9, "PE speed (FLOP/s)")
+		costfrac    = flag.Float64("costfrac", 0.5, "LB cost as a fraction of one iteration's compute time")
+		grid        = flag.Int("bestalpha", 0, "if > 0, also scan this many alphas for the best one")
+		plannerName = flag.String("planner", "sigma+", fmt.Sprintf("LB schedule planner for the ULBA side, one of %v", ulba.PlannerNames()))
+		period      = flag.Int("period", 10, "interval for -planner periodic")
+		annealSteps = flag.Int("annealsteps", 20000, "proposals for -planner anneal")
+		seed        = flag.Uint64("seed", 7, "seed for -planner anneal")
+		table1      = flag.Bool("table1", false, "print Table I (parameter glossary) and exit")
 	)
 	flag.Parse()
 
@@ -42,7 +48,7 @@ func main() {
 		return
 	}
 
-	params := model.Params{
+	params := ulba.ModelParams{
 		P: *p, N: *n, Gamma: *gamma, W0: *w0, Omega: *omega, Alpha: *alpha,
 	}
 	params.DeltaW = *growth * params.W0 / float64(params.P)
@@ -55,6 +61,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "invalid parameters:", err)
 		os.Exit(1)
 	}
+
+	planner, err := ulba.NewPlanner(*plannerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	planner = cli.ConfigurePlanner(planner, *period, *annealSteps, *seed)
 
 	fmt.Println("parameters:", params)
 	fmt.Println()
@@ -78,20 +91,31 @@ func main() {
 	tb.Render(os.Stdout)
 	fmt.Println()
 
-	stdSched := schedule.Menon(params)
-	ulbaSched := schedule.EverySigmaPlus(params)
+	stdSched, err := ulba.MenonPlanner{}.Plan(params, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "standard planner:", err)
+		os.Exit(1)
+	}
+	ulbaSched, err := planner.Plan(params, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planner:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("standard schedule (%d calls): %v\n", stdSched.Count(), stdSched)
-	fmt.Printf("ULBA schedule     (%d calls): %v\n", ulbaSched.Count(), ulbaSched)
+	fmt.Printf("%-8s schedule (%d calls): %v\n", planner.Name(), ulbaSched.Count(), ulbaSched)
+	if ivs := ulbaSched.Intervals(); len(ivs) > 0 {
+		fmt.Printf("%-8s intervals: %v\n", planner.Name(), ivs)
+	}
 	fmt.Println()
 
-	std := simulate.StandardTime(params)
-	ul := simulate.ULBATimeAt(params, params.Alpha)
+	std := ulba.StandardTotalTime(params)
+	ul := ulba.EvaluateSchedule(params, ulbaSched)
 	fmt.Printf("standard method total time: %.6f s\n", std)
-	fmt.Printf("ULBA (alpha=%.2f) total time: %.6f s  (gain %+.2f%%)\n",
-		params.Alpha, ul, 100*(std-ul)/std)
+	fmt.Printf("ULBA (alpha=%.2f, %s plan) total time: %.6f s  (gain %+.2f%%)\n",
+		params.Alpha, planner.Name(), ul, 100*(std-ul)/std)
 
 	if *grid > 0 {
-		a, best := simulate.BestAlpha(params, simulate.AlphaGrid(*grid))
+		a, best := ulba.BestAlpha(params, *grid)
 		fmt.Printf("best alpha of %d-grid: %.3f -> %.6f s (gain %+.2f%%)\n",
 			*grid, a, best, 100*(std-best)/std)
 	}

@@ -3,45 +3,90 @@
 //   - Fig. 2: the sigma+ schedule versus a simulated-annealing search over
 //     LB schedules, on random Table II instances;
 //   - Fig. 3: the theoretical gain of ULBA over the standard method as a
-//     function of the percentage of overloading PEs;
+//     function of the percentage of overloading PEs, driven by the public
+//     Sweep engine with a registry-selected planner;
 //   - Table II: the random-instance distributions.
+//
+// With -json, per-instance results are printed as one JSON object per line
+// (machine-readable; summaries go to stderr), so result trajectories can be
+// collected across runs.
 //
 // Examples:
 //
 //	ulba-synth -fig2 -instances 1000
 //	ulba-synth -fig3 -instances 1000 -alphas 100
+//	ulba-synth -fig3 -planner anneal -instances 50 -json
 //	ulba-synth -table2
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"ulba"
+	"ulba/internal/cli"
 	"ulba/internal/experiments"
 	"ulba/internal/simulate"
 )
 
+// fig3Line is the one-line-per-instance JSON record of the Fig. 3 sweep.
+// Every numeric field is always emitted: best_alpha == 0 is a legitimate
+// value (ULBA degenerates to the standard method) and must not disappear
+// from the stream.
+type fig3Line struct {
+	Experiment string  `json:"experiment"`
+	Planner    string  `json:"planner"`
+	Fraction   float64 `json:"fraction"` // Fig. 3 bucket: N/P
+	Instance   int     `json:"instance"`
+	StdTime    float64 `json:"std_time"`
+	ULBATime   float64 `json:"ulba_time"`
+	BestAlpha  float64 `json:"best_alpha"`
+	Gain       float64 `json:"gain"`
+}
+
+// fig2Line is the one-line-per-instance JSON record of the Fig. 2
+// experiment: the relative gain of the sigma+ schedule over annealing.
+type fig2Line struct {
+	Experiment string  `json:"experiment"`
+	Instance   int     `json:"instance"`
+	Gain       float64 `json:"gain"`
+}
+
+func emit(enc *json.Encoder, line any) {
+	if err := enc.Encode(line); err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
-		fig2      = flag.Bool("fig2", false, "run the Fig. 2 experiment (sigma+ vs simulated annealing)")
-		fig3      = flag.Bool("fig3", false, "run the Fig. 3 experiment (gain vs overloading percentage)")
-		table2    = flag.Bool("table2", false, "print Table II")
-		instances = flag.Int("instances", 200, "instances per experiment (Fig. 2) or per bucket (Fig. 3); paper: 1000")
-		alphas    = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
-		steps     = flag.Int("annealsteps", 20000, "simulated annealing steps per instance (Fig. 2)")
-		seed      = flag.Uint64("seed", 2019, "random seed")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		fig2        = flag.Bool("fig2", false, "run the Fig. 2 experiment (sigma+ vs simulated annealing)")
+		fig3        = flag.Bool("fig3", false, "run the Fig. 3 experiment (gain vs overloading percentage)")
+		table2      = flag.Bool("table2", false, "print Table II")
+		instances   = flag.Int("instances", 200, "instances per experiment (Fig. 2) or per bucket (Fig. 3); paper: 1000")
+		alphas      = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
+		steps       = flag.Int("annealsteps", 20000, "simulated annealing steps per instance (Fig. 2, and -planner anneal)")
+		plannerName = flag.String("planner", "sigma+", fmt.Sprintf("Fig. 3 schedule planner for the ULBA side, one of %v", ulba.PlannerNames()))
+		period      = flag.Int("period", 10, "interval for -planner periodic")
+		seed        = flag.Uint64("seed", 2019, "random seed")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		jsonOut     = flag.Bool("json", false, "print one JSON object per instance on stdout (summaries go to stderr)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	if !*fig2 && !*fig3 && !*table2 {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -fig2, -fig3 and/or -table2")
 		flag.Usage()
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 
 	if *table2 {
 		fmt.Println("Table II: random application parameter distributions")
@@ -57,22 +102,51 @@ func main() {
 			Seed:        *seed,
 			Workers:     *workers,
 		})
-		fmt.Printf("Fig. 2 (%d instances, %d annealing steps, %.1fs)\n",
-			*instances, *steps, time.Since(start).Seconds())
-		fmt.Print(experiments.RenderFig2(res))
-		fmt.Println()
+		if *jsonOut {
+			for i, g := range res.Gains {
+				emit(enc, fig2Line{Experiment: "fig2", Instance: i, Gain: g})
+			}
+			fmt.Fprintf(os.Stderr, "fig2: %d instances, mean gain %+.4f%%, %.1fs\n",
+				*instances, res.Mean*100, time.Since(start).Seconds())
+		} else {
+			fmt.Printf("Fig. 2 (%d instances, %d annealing steps, %.1fs)\n",
+				*instances, *steps, time.Since(start).Seconds())
+			fmt.Print(experiments.RenderFig2(res))
+			fmt.Println()
+		}
 	}
 
 	if *fig3 {
+		planner, err := ulba.NewPlanner(*plannerName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		planner = cli.ConfigurePlanner(planner, *period, *steps, *seed)
+
 		start := time.Now()
-		buckets := simulate.RunFig3(simulate.Fig3Config{
-			InstancesPerBucket: *instances,
-			AlphaGridSize:      *alphas,
-			Seed:               *seed,
-			Workers:            *workers,
-		})
-		fmt.Printf("Fig. 3 (%d instances/bucket, %d-alpha grid, %.1fs)\n",
-			*instances, *alphas, time.Since(start).Seconds())
-		fmt.Print(experiments.RenderFig3(buckets))
+		var visit func(frac float64, i int, c ulba.Comparison)
+		if *jsonOut {
+			visit = func(frac float64, i int, c ulba.Comparison) {
+				emit(enc, fig3Line{
+					Experiment: "fig3", Planner: planner.Name(), Fraction: frac,
+					Instance: i, StdTime: c.StdTime, ULBATime: c.ULBATime,
+					BestAlpha: c.BestAlpha, Gain: c.Gain,
+				})
+			}
+		}
+		buckets, err := cli.RunFig3Sweep(ctx, planner, *instances, *alphas, *seed, *workers, visit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			fmt.Fprintf(os.Stderr, "fig3: %d buckets x %d instances, planner %s, %.1fs\n",
+				len(buckets), *instances, planner.Name(), time.Since(start).Seconds())
+		} else {
+			fmt.Printf("Fig. 3 (%d instances/bucket, %d-alpha grid, planner %s, %.1fs)\n",
+				*instances, *alphas, planner.Name(), time.Since(start).Seconds())
+			fmt.Print(experiments.RenderFig3(buckets))
+		}
 	}
 }

@@ -9,7 +9,48 @@
 // itself through its own dynamics before imbalance degrades performance
 // again.
 //
-// The package is a facade over the internal building blocks:
+// The public API is organized around the two policy axes the paper studies,
+// both pluggable and registry-backed so new policies compose with the
+// existing harness:
+//
+//   - Planner — when to balance, decided ahead of time on the analytic
+//     model (Eqs. 1-12): SigmaPlusPlanner (the paper's proposal),
+//     MenonPlanner (the standard method), PeriodicPlanner, AnnealPlanner
+//     (the heuristic baseline of Fig. 2). RegisterPlanner / NewPlanner
+//     select planners by name, e.g. from a -planner CLI flag.
+//   - Trigger — when to balance, decided at runtime from the measured
+//     iteration times: DegradationTrigger (the adaptive rule of Zhai et
+//     al., the default), MenonTrigger, PeriodicTrigger, NeverTrigger, and
+//     ScheduleTrigger, which replays a planned schedule on the simulated
+//     cluster. RegisterTrigger / NewTrigger mirror the planner registry.
+//
+// Single runs are built with the Experiment builder and executed with
+// context cancellation; batch evaluations over many model instances go
+// through the concurrent Sweep engine, which streams per-instance
+// Comparison results and aggregates them bit-identically for every worker
+// count.
+//
+// Quick start:
+//
+//	exp, err := ulba.New(32,
+//	        ulba.WithMethod(ulba.ULBA),
+//	        ulba.WithAlpha(0.4),
+//	        ulba.WithTrigger(ulba.DegradationTrigger{}),
+//	)
+//	if err != nil { ... }
+//	res, err := exp.Run(ctx)
+//	// res.TotalTime, res.Usage, res.LBIters ...
+//
+//	cmp, err := exp.Compare(ctx) // same instance under the standard method too
+//	// cmp.Gain(), cmp.CallsAvoided()
+//
+// And a model-side batch sweep (the engine behind Fig. 3):
+//
+//	sweep, err := ulba.NewSweep(ulba.WithWorkers(8))
+//	summary, comps, err := sweep.Run(ctx, ulba.SampleInstances(seed, 1000))
+//	// summary.Gains.Median, summary.MeanBestAlpha ...
+//
+// The package remains a facade over the internal building blocks:
 //
 //   - the analytic application model of the paper (Eqs. 1-12): per-iteration
 //     times under the standard method and under ULBA, the LB-interval bounds
@@ -25,12 +66,10 @@
 //     overload detection, and the adaptive degradation trigger, runnable
 //     under the standard method or ULBA.
 //
-// Quick start:
-//
-//	cfg := ulba.DefaultRunConfig(32, ulba.ULBA)
-//	res, err := ulba.Run(cfg)
-//	// res.TotalTime, res.Usage, res.LBIters ...
+// The pre-builder entry points (Run, DefaultRunConfig, MenonSchedule,
+// SigmaPlusSchedule, AnnealSchedule) remain as deprecated shims delegating
+// to the new API.
 //
 // See the examples directory for complete programs and DESIGN.md for the
-// per-experiment index.
+// API surface and the per-experiment index.
 package ulba

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,44 +18,39 @@ import (
 
 func main() {
 	const pes = 32
+	ctx := context.Background()
 
-	base := ulba.DefaultRunConfig(pes, ulba.ULBA)
-	base.App.StripeWidth = 128
-	base.App.Height = 256
-	base.App.Radius = 32
-	base.Iterations = 100
+	app := ulba.DefaultAppConfig(pes)
+	app.StripeWidth = 128
+	app.Height = 256
+	app.Radius = 32
 
-	fmt.Printf("erosion application, %d PEs, %d strongly erodible rocks\n\n", pes, base.App.StrongRocks)
-	fmt.Printf("%-22s %12s %12s %9s\n", "policy", "time [s]", "mean usage", "LB calls")
-
-	for _, fixed := range []float64{0.1, 0.4, 0.9} {
-		cfg := base
-		cfg.Alpha = fixed
-		res, err := ulba.Run(cfg)
+	// Every policy shares the same instance; only the alpha choice (and,
+	// for the reference row, the method) differs.
+	run := func(label string, policy ulba.Option, method ulba.Method) {
+		exp, err := ulba.New(pes,
+			ulba.WithMethod(method),
+			ulba.WithApp(app),
+			ulba.WithIterations(100),
+			policy,
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exp.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-22s %12.4f %12.3f %9d\n",
-			fmt.Sprintf("fixed alpha = %.1f", fixed), res.TotalTime, res.MeanUsage(), res.LBCount())
+			label, res.TotalTime, res.MeanUsage(), res.LBCount())
 	}
 
-	cfg := base
-	cfg.AdaptiveAlpha = true
-	res, err := ulba.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-22s %12.4f %12.3f %9d\n",
-		"adaptive (extension)", res.TotalTime, res.MeanUsage(), res.LBCount())
+	fmt.Printf("erosion application, %d PEs, %d strongly erodible rocks\n\n", pes, app.StrongRocks)
+	fmt.Printf("%-22s %12s %12s %9s\n", "policy", "time [s]", "mean usage", "LB calls")
 
-	stdRes, err := ulba.Run(func() ulba.RunConfig {
-		c := base
-		c.Method = ulba.Standard
-		return c
-	}())
-	if err != nil {
-		log.Fatal(err)
+	for _, fixed := range []float64{0.1, 0.4, 0.9} {
+		run(fmt.Sprintf("fixed alpha = %.1f", fixed), ulba.WithAlpha(fixed), ulba.ULBA)
 	}
-	fmt.Printf("%-22s %12.4f %12.3f %9d\n",
-		"standard (reference)", stdRes.TotalTime, stdRes.MeanUsage(), stdRes.LBCount())
+	run("adaptive (extension)", ulba.WithAdaptiveAlpha(), ulba.ULBA)
+	run("standard (reference)", ulba.WithAlpha(0), ulba.Standard)
 }

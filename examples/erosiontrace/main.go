@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,21 +19,26 @@ import (
 func main() {
 	const pes = 32
 
-	run := func(m ulba.Method) ulba.RunResult {
-		cfg := ulba.DefaultRunConfig(pes, m)
-		cfg.App.StripeWidth = 192
-		cfg.App.Height = 400
-		cfg.App.Radius = 48
-		cfg.Iterations = 120
-		res, err := ulba.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
-	}
+	app := ulba.DefaultAppConfig(pes)
+	app.StripeWidth = 192
+	app.Height = 400
+	app.Radius = 48
 
-	std := run(ulba.Standard)
-	anticipating := run(ulba.ULBA)
+	exp, err := ulba.New(pes,
+		ulba.WithMethod(ulba.ULBA),
+		ulba.WithApp(app),
+		ulba.WithIterations(120),
+		ulba.WithTrigger(ulba.DegradationTrigger{}), // the paper's adaptive rule, explicit
+		ulba.WithWorkers(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := exp.Compare(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	std, anticipating := cmp.Baseline, cmp.Result
 
 	fmt.Printf("average PE usage, %d PEs, 1 strongly erodible rock (cf. paper Fig. 4b)\n\n", pes)
 	fmt.Print(trace.UsagePlot(
@@ -45,12 +51,7 @@ func main() {
 			anticipating.MeanUsage(), anticipating.LBCount(), anticipating.LBIters),
 		anticipating.Usage, anticipating.LBIters, 100))
 
-	saved := 0.0
-	if std.LBCount() > 0 {
-		saved = 100 * (1 - float64(anticipating.LBCount())/float64(std.LBCount()))
-	}
-	fmt.Printf("\nULBA avoided %.1f%% of the LB calls (paper: 62.5%%)\n", saved)
+	fmt.Printf("\nULBA avoided %.1f%% of the LB calls (paper: 62.5%%)\n", 100*cmp.CallsAvoided())
 	fmt.Printf("wall time: standard %.4f s, ULBA %.4f s (gain %+.2f%%)\n",
-		std.TotalTime, anticipating.TotalTime,
-		100*(std.TotalTime-anticipating.TotalTime)/std.TotalTime)
+		std.TotalTime, anticipating.TotalTime, 100*cmp.Gain())
 }

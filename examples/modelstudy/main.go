@@ -1,13 +1,15 @@
 // Modelstudy explores the paper's analytic model on a randomly sampled
 // Table II instance: it computes the LB-interval bounds (sigma-, sigma+,
 // Menon's tau), evaluates the standard method and ULBA across alphas, and
-// checks the proposed sigma+ schedule against a simulated-annealing search —
-// a one-instance version of the Fig. 2 and Fig. 3 experiments.
+// checks the proposed sigma+ plan against a simulated-annealing search —
+// all through the Planner interface, with a Sweep over fresh instances as a
+// finale (a one-command tour of the Fig. 2 and Fig. 3 experiments).
 //
 //	go run ./examples/modelstudy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p := ulba.SampleInstances(42, 1)[0]
 	fmt.Println("sampled Table II instance:")
 	fmt.Printf("  %v\n\n", p)
@@ -48,11 +51,22 @@ func main() {
 	fmt.Printf("\nbest of a 100-alpha grid: alpha=%.3f -> %.4f s (gain %+.2f%%)\n",
 		bestAlpha, bestTime, 100*(std-bestTime)/std)
 
-	// Validate the sigma+ schedule against the heuristic search of
-	// Section III-B (simulated annealing over all 2^gamma schedules).
+	// Validate the sigma+ plan against the heuristic search of Section
+	// III-B (simulated annealing over all 2^gamma schedules), both
+	// obtained through the planner registry.
 	pa := p.WithAlpha(bestAlpha)
-	sigmaSched := ulba.SigmaPlusSchedule(pa)
-	annealed := ulba.AnnealSchedule(pa, 20000, 7)
+	sigmaPlanner, err := ulba.NewPlanner("sigma+")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigmaSched, err := sigmaPlanner.Plan(pa, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	annealed, err := ulba.AnnealPlanner{Steps: 20000, Seed: 7}.Plan(pa, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sigmaTime := ulba.EvaluateSchedule(pa, sigmaSched)
 	annealTime := ulba.EvaluateSchedule(pa, annealed)
 	fmt.Printf("\nschedule comparison at alpha=%.3f:\n", bestAlpha)
@@ -60,4 +74,17 @@ func main() {
 	fmt.Printf("  simulated annealing : %d calls, %.4f s\n", annealed.Count(), annealTime)
 	fmt.Printf("  sigma+ vs annealed  : %+.2f%% (paper Fig. 2: mean -0.83%%)\n",
 		100*(annealTime-sigmaTime)/annealTime)
+
+	// Finally, a batch view: sweep 50 fresh instances through the engine
+	// behind the Fig. 3 experiment.
+	sweep, err := ulba.NewSweep(ulba.WithAlphaGrid(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, _, err := sweep.Run(ctx, ulba.SampleInstances(43, 50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsweep of %d fresh instances: median gain %+.2f%%, mean best alpha %.3f, ULBA wins %d/%d\n",
+		sum.Instances, 100*sum.Gains.Median, sum.MeanBestAlpha, sum.ULBAWins, sum.Instances)
 }

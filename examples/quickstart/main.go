@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,26 +20,29 @@ import (
 func main() {
 	const pes = 32
 
-	stdCfg := ulba.DefaultRunConfig(pes, ulba.Standard)
-	ulbaCfg := ulba.DefaultRunConfig(pes, ulba.ULBA)
-
-	std, err := ulba.Run(stdCfg)
+	// One builder call configures the ULBA run; Compare executes it next
+	// to the standard-method baseline on the identical instance.
+	exp, err := ulba.New(pes,
+		ulba.WithMethod(ulba.ULBA),
+		ulba.WithAlpha(0.4),
+		ulba.WithWorkers(2), // run both methods concurrently
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	anticipating, err := ulba.Run(ulbaCfg)
+	cmp, err := exp.Compare(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	std, anticipating := cmp.Baseline, cmp.Result
 
 	fmt.Printf("fluid-with-erosion, %d PEs, %d iterations, one strongly erodible rock\n\n",
-		pes, stdCfg.Iterations)
+		pes, exp.Config().Iterations)
 	fmt.Printf("%-10s %12s %12s %9s\n", "method", "time [s]", "mean usage", "LB calls")
 	fmt.Printf("%-10s %12.4f %12.3f %9d\n", "standard", std.TotalTime, std.MeanUsage(), std.LBCount())
 	fmt.Printf("%-10s %12.4f %12.3f %9d\n", "ulba", anticipating.TotalTime, anticipating.MeanUsage(), anticipating.LBCount())
 
-	gain := 100 * (std.TotalTime - anticipating.TotalTime) / std.TotalTime
 	fmt.Printf("\nULBA gain: %+.2f%% with %d fewer LB calls\n",
-		gain, std.LBCount()-anticipating.LBCount())
+		100*cmp.Gain(), std.LBCount()-anticipating.LBCount())
 	fmt.Printf("(identical physics: both runs eroded %d cells)\n", std.Eroded)
 }

@@ -1,0 +1,197 @@
+package ulba_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ulba"
+)
+
+// smallApp shrinks the default instance so runtime tests stay fast.
+func smallApp(p int) ulba.AppConfig {
+	app := ulba.DefaultAppConfig(p)
+	app.StripeWidth = 48
+	app.Height = 100
+	app.Radius = 12
+	return app
+}
+
+// The zero-option Experiment must carry exactly the configuration the
+// deprecated DefaultRunConfig produced: alpha 0.4, z-threshold 3.0 (after
+// normalization), adaptive degradation trigger, overhead term included.
+func TestExperimentDefaultsMatchDefaultRunConfig(t *testing.T) {
+	e, err := ulba.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Config()
+	want := ulba.DefaultRunConfig(16, ulba.Standard).Normalized()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("defaults diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Alpha != 0.4 {
+		t.Errorf("default alpha = %g, want 0.4", got.Alpha)
+	}
+	if got.ZThreshold != 3.0 {
+		t.Errorf("default z-threshold = %g, want 3.0", got.ZThreshold)
+	}
+	if got.TriggerFactory != nil || got.Trigger != 0 {
+		t.Error("default experiment should use the degradation trigger kind")
+	}
+	if e.Trigger() != nil || e.PlannedSchedule() != nil {
+		t.Error("zero-option experiment should have no explicit policy attached")
+	}
+}
+
+func TestExperimentEagerValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		opts []ulba.Option
+	}{
+		{"bad PE count", 0, nil},
+		{"bad alpha", 8, []ulba.Option{ulba.WithAlpha(1.5)}},
+		{"bad iterations", 8, []ulba.Option{ulba.WithIterations(-1)}},
+		{"bad z", 8, []ulba.Option{ulba.WithZThreshold(-2)}},
+		{"periodic without interval", 8, []ulba.Option{ulba.WithTrigger(ulba.PeriodicTrigger{})}},
+		{"planner without model", 8, []ulba.Option{ulba.WithPlanner(ulba.SigmaPlusPlanner{})}},
+		{"planner and trigger", 8, []ulba.Option{
+			ulba.WithModel(ulba.SampleInstances(1, 1)[0]),
+			ulba.WithPlanner(ulba.SigmaPlusPlanner{}),
+			ulba.WithTrigger(ulba.DegradationTrigger{}),
+		}},
+		{"sweep-only option", 8, []ulba.Option{ulba.WithAlphaGrid(10)}},
+		{"zero option", 8, []ulba.Option{{}}},
+	}
+	for _, tc := range cases {
+		if _, err := ulba.New(tc.p, tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestExperimentRunMatchesDeprecatedRun(t *testing.T) {
+	e, err := ulba.New(8,
+		ulba.WithMethod(ulba.ULBA),
+		ulba.WithApp(smallApp(8)),
+		ulba.WithIterations(40),
+		ulba.WithZThreshold(2.0),
+		ulba.WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ulba.DefaultRunConfig(8, ulba.ULBA)
+	cfg.App = smallApp(8)
+	cfg.App.Seed = 5
+	cfg.Iterations = 40
+	cfg.ZThreshold = 2.0
+	old, err := ulba.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime != old.TotalTime || res.Eroded != old.Eroded || res.LBCount() != old.LBCount() {
+		t.Errorf("builder run diverged from deprecated Run: %+v vs %+v", res, old)
+	}
+}
+
+func TestExperimentRunCancelled(t *testing.T) {
+	e, err := ulba.New(8, ulba.WithApp(smallApp(8)), ulba.WithIterations(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx); err != context.Canceled {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// A planner-driven experiment replays the planned schedule exactly: one LB
+// call per plan entry, regardless of the measured iteration times.
+func TestExperimentPlannedSchedule(t *testing.T) {
+	mp := ulba.SampleInstances(7, 1)[0]
+	e, err := ulba.New(8,
+		ulba.WithMethod(ulba.ULBA),
+		ulba.WithApp(smallApp(8)),
+		ulba.WithIterations(40),
+		ulba.WithModel(mp),
+		ulba.WithPlanner(ulba.PeriodicPlanner{Every: 9}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := e.PlannedSchedule()
+	if planned.Count() == 0 {
+		t.Fatal("empty planned schedule")
+	}
+	if err := planned.Validate(40); err != nil {
+		t.Fatalf("planned schedule invalid: %v", err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LBCount() != planned.Count() {
+		t.Errorf("run made %d LB calls, plan has %d", res.LBCount(), planned.Count())
+	}
+}
+
+func TestExperimentTriggerByName(t *testing.T) {
+	trig, err := ulba.NewTrigger("never")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ulba.New(8,
+		ulba.WithApp(smallApp(8)),
+		ulba.WithIterations(30),
+		ulba.WithTrigger(trig),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LBCount() != 0 {
+		t.Errorf("never trigger made %d LB calls", res.LBCount())
+	}
+}
+
+func TestExperimentCompareWorkersIrrelevant(t *testing.T) {
+	build := func(workers int) ulba.MethodComparison {
+		e, err := ulba.New(8,
+			ulba.WithMethod(ulba.ULBA),
+			ulba.WithApp(smallApp(8)),
+			ulba.WithIterations(40),
+			ulba.WithZThreshold(2.0),
+			ulba.WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := e.Compare(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp
+	}
+	seq := build(1)
+	par := build(4)
+	if seq.Baseline.TotalTime != par.Baseline.TotalTime || seq.Result.TotalTime != par.Result.TotalTime {
+		t.Error("Compare results depend on the worker count")
+	}
+	if seq.Baseline.Eroded != seq.Result.Eroded {
+		t.Errorf("physics differ across methods: %d vs %d", seq.Baseline.Eroded, seq.Result.Eroded)
+	}
+	if g := seq.Gain(); g != (seq.Baseline.TotalTime-seq.Result.TotalTime)/seq.Baseline.TotalTime {
+		t.Errorf("Gain() = %v inconsistent", g)
+	}
+}

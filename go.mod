@@ -1,0 +1,3 @@
+module ulba
+
+go 1.24

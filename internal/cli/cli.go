@@ -1,0 +1,87 @@
+// Package cli holds the policy-selection and experiment-driving helpers the
+// cmd/ binaries share: configuring registry-built planners and triggers from
+// flag values, and the Fig. 3 sweep loop over the public Sweep engine.
+package cli
+
+import (
+	"context"
+	"fmt"
+
+	"ulba"
+	"ulba/internal/instance"
+	"ulba/internal/simulate"
+)
+
+// ConfigurePlanner applies the flag-level knobs to a registry-built planner:
+// the interval for the periodic planner, the proposal budget and seed for
+// the annealing planner. Other planners pass through unchanged.
+func ConfigurePlanner(pl ulba.Planner, period, annealSteps int, seed uint64) ulba.Planner {
+	switch p := pl.(type) {
+	case ulba.PeriodicPlanner:
+		p.Every = period
+		return p
+	case ulba.AnnealPlanner:
+		p.Steps = annealSteps
+		p.Seed = seed
+		return p
+	default:
+		return pl
+	}
+}
+
+// ConfigureTrigger applies the flag-level knobs to a registry-built trigger:
+// the interval for the periodic trigger. Other triggers pass through
+// unchanged.
+func ConfigureTrigger(t ulba.Trigger, period int) ulba.Trigger {
+	if pt, ok := t.(ulba.PeriodicTrigger); ok {
+		pt.Every = period
+		return pt
+	}
+	return t
+}
+
+// RunFig3Sweep drives the Fig. 3 experiment through the public Sweep
+// engine: for each Table II overloading-fraction bucket it samples
+// instancesPerBucket instances (sequentially from one generator, matching
+// the paper driver's order) and evaluates them under the given planner.
+// visit is called for every instance in input order; pass nil to skip.
+// The default sigma+ planner keeps the sweep on the paper's exact
+// evaluation path; any other planner re-plans every instance.
+func RunFig3Sweep(ctx context.Context, planner ulba.Planner, instancesPerBucket, alphaGrid int,
+	seed uint64, workers int, visit func(frac float64, i int, c ulba.Comparison)) ([]simulate.Fig3Bucket, error) {
+
+	opts := []ulba.Option{ulba.WithWorkers(workers), ulba.WithAlphaGrid(alphaGrid)}
+	if planner.Name() != "sigma+" {
+		opts = append(opts, ulba.WithPlanner(planner))
+	}
+	sweep, err := ulba.NewSweep(opts...)
+	if err != nil {
+		return nil, err
+	}
+	gen := instance.NewGenerator(seed)
+	buckets := make([]simulate.Fig3Bucket, 0, len(instance.Fig3Buckets))
+	for _, frac := range instance.Fig3Buckets {
+		params := make([]ulba.ModelParams, instancesPerBucket)
+		for i := range params {
+			params[i] = gen.SampleAt(frac)
+		}
+		sum, comps, err := sweep.Run(ctx, params)
+		if err != nil {
+			return nil, fmt.Errorf("bucket %.3f: %w", frac, err)
+		}
+		gains := make([]float64, len(comps))
+		for i, c := range comps {
+			gains[i] = c.Gain
+			if visit != nil {
+				visit(frac, i, c)
+			}
+		}
+		buckets = append(buckets, simulate.Fig3Bucket{
+			Fraction:      frac,
+			Gains:         sum.Gains,
+			MeanBestAlpha: sum.MeanBestAlpha,
+			RawGains:      gains,
+		})
+	}
+	return buckets, nil
+}

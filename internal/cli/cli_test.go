@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"context"
+	"testing"
+
+	"ulba"
+	"ulba/internal/simulate"
+)
+
+func TestConfigurePlanner(t *testing.T) {
+	pl := ConfigurePlanner(ulba.PeriodicPlanner{}, 7, 0, 0)
+	if got := pl.(ulba.PeriodicPlanner).Every; got != 7 {
+		t.Errorf("periodic Every = %d, want 7", got)
+	}
+	pl = ConfigurePlanner(ulba.AnnealPlanner{}, 0, 500, 9)
+	an := pl.(ulba.AnnealPlanner)
+	if an.Steps != 500 || an.Seed != 9 {
+		t.Errorf("anneal configured as %+v", an)
+	}
+	if pl = ConfigurePlanner(ulba.SigmaPlusPlanner{}, 7, 500, 9); pl.Name() != "sigma+" {
+		t.Errorf("sigma+ planner not passed through: %v", pl.Name())
+	}
+}
+
+func TestConfigureTrigger(t *testing.T) {
+	tr := ConfigureTrigger(ulba.PeriodicTrigger{}, 5)
+	if got := tr.(ulba.PeriodicTrigger).Every; got != 5 {
+		t.Errorf("periodic Every = %d, want 5", got)
+	}
+	if tr = ConfigureTrigger(ulba.NeverTrigger{}, 5); tr.Name() != "never" {
+		t.Errorf("never trigger not passed through: %v", tr.Name())
+	}
+}
+
+// The sweep-backed Fig. 3 driver must reproduce simulate.RunFig3 exactly on
+// the default planner: same generator order, same evaluations.
+func TestRunFig3SweepMatchesSimulate(t *testing.T) {
+	const n, grid, seed = 5, 11, uint64(4)
+	planner, err := ulba.NewPlanner("sigma+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := 0
+	got, err := RunFig3Sweep(context.Background(), planner, n, grid, seed, 2,
+		func(float64, int, ulba.Comparison) { visits++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simulate.RunFig3(simulate.Fig3Config{
+		InstancesPerBucket: n, AlphaGridSize: grid, Seed: seed, Workers: 2,
+	})
+	if len(got) != len(want) {
+		t.Fatalf("%d buckets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Fraction != want[i].Fraction || got[i].Gains != want[i].Gains ||
+			got[i].MeanBestAlpha != want[i].MeanBestAlpha {
+			t.Errorf("bucket %d diverged:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if visits != n*len(want) {
+		t.Errorf("visit called %d times, want %d", visits, n*len(want))
+	}
+}

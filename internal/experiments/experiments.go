@@ -32,6 +32,16 @@ type Scale struct {
 	Radius      int
 	Iterations  int
 	Seeds       int // number of repetitions; the median is reported (paper: 5)
+
+	// TriggerFactory, when non-nil, replaces the default degradation
+	// trigger in every configuration this scale assembles; it is how the
+	// CLIs select a trigger by registry name for the Fig. 4 experiments.
+	TriggerFactory func() lb.Trigger
+
+	// WarmupLB overrides the forced first LB call (0 keeps the runner's
+	// default of iteration 1; negative disables it, e.g. for the static
+	// never-trigger baseline).
+	WarmupLB int
 }
 
 // BenchScale is small enough for go test -bench: one run takes tens of
@@ -85,6 +95,8 @@ func (s Scale) LBConfig(p, rocks int, seed uint64, method lb.Method, alpha float
 		Alpha:           alpha,
 		ZThreshold:      3.0,
 		IncludeOverhead: true,
+		TriggerFactory:  s.TriggerFactory,
+		WarmupLB:        s.WarmupLB,
 	}
 }
 

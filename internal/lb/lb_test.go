@@ -456,3 +456,75 @@ func TestOSNoiseValidation(t *testing.T) {
 		t.Error("negative noise accepted")
 	}
 }
+
+func TestFixedScheduleTrigger(t *testing.T) {
+	f := &FixedSchedule{Iters: []int{3, 7}}
+	fired := []int{}
+	for i := 0; i < 10; i++ {
+		f.Observe(0)
+		if f.ShouldFire(0.5) {
+			fired = append(fired, i)
+			f.Reset()
+		}
+	}
+	// Entry k fires at the end of iteration k-1: the balancer runs before
+	// iteration k executes, matching the schedule convention.
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 6 {
+		t.Errorf("fired at %v, want [2 6]", fired)
+	}
+}
+
+func TestFixedScheduleSkipsPastEntries(t *testing.T) {
+	// Adjacent plan entries covered by one step are collapsed by Reset.
+	f := &FixedSchedule{Iters: []int{2, 3}}
+	f.Observe(0)
+	f.Observe(0)
+	f.Observe(0) // seen = 3: both entries reached
+	if !f.ShouldFire(0) {
+		t.Fatal("should fire at entry 2")
+	}
+	f.Reset()
+	if f.ShouldFire(0) {
+		t.Error("entry 3 already covered, must not fire again")
+	}
+}
+
+func TestTriggerFactoryOverridesKind(t *testing.T) {
+	cfg := testConfig(4, Standard)
+	cfg.Trigger = TriggerDegradation
+	cfg.TriggerFactory = func() Trigger { return Never{} }
+	cfg.WarmupLB = -1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LBCount() != 0 {
+		t.Errorf("factory-built Never trigger ignored: %d LB calls", res.LBCount())
+	}
+	// The factory also lifts the PeriodicInterval requirement.
+	cfg.Trigger = TriggerPeriodic
+	cfg.PeriodicInterval = 0
+	if err := cfg.Normalized().Validate(); err != nil {
+		t.Errorf("factory config rejected: %v", err)
+	}
+}
+
+func TestFixedScheduleRunMatchesPlan(t *testing.T) {
+	cfg := testConfig(4, ULBA)
+	plan := []int{10, 25, 40}
+	cfg.TriggerFactory = func() Trigger { return &FixedSchedule{Iters: plan} }
+	cfg.WarmupLB = -1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LBCount() != len(plan) {
+		t.Fatalf("ran %d LB steps, plan has %d (at %v)", res.LBCount(), len(plan), res.LBIters)
+	}
+	for i, it := range res.LBIters {
+		if it != plan[i]-1 {
+			t.Errorf("LB step %d at iteration %d, want %d (before planned iteration %d)",
+				i, it, plan[i]-1, plan[i])
+		}
+	}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	Trigger          TriggerKind
 	PeriodicInterval int // for TriggerPeriodic
 
+	// TriggerFactory, when non-nil, overrides Trigger: every rank calls
+	// it once to obtain a fresh trigger state machine. This is how
+	// user-defined triggers plug into the runner; the factory must
+	// return deterministic triggers (LB decisions are collective).
+	TriggerFactory func() Trigger
+
 	// WarmupLB is the iteration of the forced first LB call, which
 	// seeds the average-LB-cost estimate the adaptive trigger needs.
 	// Negative disables the warmup call. Default (0 value) means 1.
@@ -162,7 +168,7 @@ func (c Config) Validate() error {
 	if c.Method != Standard && c.Method != ULBA {
 		return fmt.Errorf("lb: unknown method %d", c.Method)
 	}
-	if c.Trigger == TriggerPeriodic && c.PeriodicInterval <= 0 {
+	if c.TriggerFactory == nil && c.Trigger == TriggerPeriodic && c.PeriodicInterval <= 0 {
 		return fmt.Errorf("lb: periodic trigger needs PeriodicInterval > 0")
 	}
 	if c.UseRCB && c.Method == ULBA {
@@ -259,15 +265,19 @@ func Run(cfg Config) (Result, error) {
 		ctrl := core.NewController(rank, p, cfg.WIRWindow, det, policy)
 
 		var trig Trigger
-		switch cfg.Trigger {
-		case TriggerPeriodic:
-			trig = &Periodic{K: cfg.PeriodicInterval}
-		case TriggerNever:
-			trig = Never{}
-		case TriggerMenon:
-			trig = NewMenonTau()
-		default:
-			trig = NewDegradation()
+		if cfg.TriggerFactory != nil {
+			trig = cfg.TriggerFactory()
+		} else {
+			switch cfg.Trigger {
+			case TriggerPeriodic:
+				trig = &Periodic{K: cfg.PeriodicInterval}
+			case TriggerNever:
+				trig = Never{}
+			case TriggerMenon:
+				trig = NewMenonTau()
+			default:
+				trig = NewDegradation()
+			}
 		}
 
 		var lbCostAvg stats.Running

@@ -103,6 +103,35 @@ func (m *MenonTau) Reset() {
 	m.times = m.times[:0]
 }
 
+// FixedSchedule fires at a precomputed, strictly increasing list of absolute
+// iterations — the runtime counterpart of a planned schedule.Schedule. An
+// entry k makes the balancer run between iterations k-1 and k, matching the
+// model convention that a scheduled LB step re-partitions the workload
+// before iteration k executes. The threshold is ignored: the plan already
+// encodes the cost trade-off.
+type FixedSchedule struct {
+	Iters []int // strictly increasing absolute iterations
+	seen  int   // iterations observed since the start of the run
+	next  int   // index of the next pending entry
+}
+
+// Observe counts one iteration; the count is never reset because the plan is
+// expressed in absolute iterations.
+func (f *FixedSchedule) Observe(float64) { f.seen++ }
+
+// ShouldFire reports whether the next planned iteration has been reached.
+func (f *FixedSchedule) ShouldFire(float64) bool {
+	return f.next < len(f.Iters) && f.seen >= f.Iters[f.next]
+}
+
+// Reset advances past every plan entry already covered by the step that just
+// ran.
+func (f *FixedSchedule) Reset() {
+	for f.next < len(f.Iters) && f.Iters[f.next] <= f.seen {
+		f.next++
+	}
+}
+
 // Degradation implements the adaptive rule of Zhai et al. [7] exactly as
 // Algorithm 1 uses it: the first iteration after a LB step becomes the
 // reference time; every iteration the median of the last three iteration

@@ -179,6 +179,21 @@ func Menon(p model.Params) Schedule {
 // Count returns the number of LB calls in the schedule.
 func (s Schedule) Count() int { return len(s) }
 
+// Intervals returns the gap, in iterations, before each LB call: the first
+// entry is the distance from iteration 0 to the first call, each following
+// entry the distance from the previous call. Useful to inspect how a planner
+// spaces its steps (a periodic plan has constant intervals; a sigma+ plan
+// stretches them as the workload grows).
+func (s Schedule) Intervals() []int {
+	out := make([]int, len(s))
+	prev := 0
+	for i, it := range s {
+		out[i] = it - prev
+		prev = it
+	}
+	return out
+}
+
 // String renders the schedule compactly.
 func (s Schedule) String() string {
 	return fmt.Sprintf("LB@%v", []int(s))

@@ -7,6 +7,7 @@
 package simulate
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -219,9 +220,13 @@ func AnnealSchedule(p model.Params, steps int, seed uint64) schedule.Schedule {
 	return schedule.FromBools(res.Best)
 }
 
-// parallelMap applies f to every element of in with at most workers
-// goroutines, preserving order. workers <= 0 selects GOMAXPROCS.
-func parallelMap[T, R any](workers int, in []T, f func(T) R) []R {
+// ParallelMap applies f to every element of in with at most workers
+// goroutines, preserving input order in the output. workers <= 0 selects
+// GOMAXPROCS. Because each slot is computed independently and written to its
+// own index, the result is identical for every worker count. Cancelling the
+// context stops dispatching further work; ParallelMap then waits for the
+// in-flight calls and returns ctx.Err() with a nil slice.
+func ParallelMap[T, R any](ctx context.Context, workers int, in []T, f func(T) R) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -231,9 +236,12 @@ func parallelMap[T, R any](workers int, in []T, f func(T) R) []R {
 	out := make([]R, len(in))
 	if workers <= 1 {
 		for i, v := range in {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = f(v)
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -246,11 +254,28 @@ func parallelMap[T, R any](workers int, in []T, f func(T) R) []R {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := range in {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parallelMap is the uncancellable variant used by the fixed-size
+// experiment drivers.
+func parallelMap[T, R any](workers int, in []T, f func(T) R) []R {
+	out, _ := ParallelMap(context.Background(), workers, in, f)
 	return out
 }
 

@@ -1,0 +1,224 @@
+package ulba
+
+import "fmt"
+
+// settings is the mutable state the functional options act on. Experiment
+// and Sweep share one option vocabulary; each option declares the builders
+// it applies to, and the builders reject options outside their scope with a
+// clear error instead of silently ignoring them.
+type settings struct {
+	cfg       RunConfig
+	seed      *uint64
+	trigger   Trigger
+	planner   Planner
+	model     *ModelParams
+	workers   int
+	alphaGrid int
+}
+
+type optionScope int
+
+const (
+	scopeExperiment optionScope = 1 << iota
+	scopeSweep
+)
+
+// Option configures an Experiment (see New) or a Sweep (see NewSweep).
+// Options are applied in order; when two options set the same field, the
+// later one wins.
+type Option struct {
+	name  string
+	scope optionScope
+	apply func(*settings) error
+}
+
+func experimentOption(name string, apply func(*settings) error) Option {
+	return Option{name: name, scope: scopeExperiment, apply: apply}
+}
+
+func sweepOption(name string, apply func(*settings) error) Option {
+	return Option{name: name, scope: scopeSweep, apply: apply}
+}
+
+func sharedOption(name string, apply func(*settings) error) Option {
+	return Option{name: name, scope: scopeExperiment | scopeSweep, apply: apply}
+}
+
+func applyOptions(s *settings, scope optionScope, kind string, opts []Option) error {
+	for _, o := range opts {
+		if o.apply == nil {
+			return fmt.Errorf("ulba: zero-value Option passed to %s", kind)
+		}
+		if o.scope&scope == 0 {
+			return fmt.Errorf("ulba: option %s does not apply to a %s", o.name, kind)
+		}
+		if err := o.apply(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithMethod selects the load-balancing method (Standard or ULBA).
+func WithMethod(m Method) Option {
+	return experimentOption("WithMethod", func(s *settings) error {
+		s.cfg.Method = m
+		return nil
+	})
+}
+
+// WithAlpha fixes the ULBA underloading fraction (paper default: 0.4).
+func WithAlpha(alpha float64) Option {
+	return experimentOption("WithAlpha", func(s *settings) error {
+		if alpha < 0 || alpha > 1 {
+			return fmt.Errorf("ulba: WithAlpha(%g) out of [0,1]", alpha)
+		}
+		s.cfg.Alpha = alpha
+		s.cfg.AdaptiveAlpha = false
+		return nil
+	})
+}
+
+// WithAdaptiveAlpha switches ULBA to the adaptive-alpha extension: alpha is
+// chosen at runtime from the estimated fraction of overloading PEs.
+func WithAdaptiveAlpha() Option {
+	return experimentOption("WithAdaptiveAlpha", func(s *settings) error {
+		s.cfg.AdaptiveAlpha = true
+		return nil
+	})
+}
+
+// WithIterations sets the run length gamma.
+func WithIterations(n int) Option {
+	return experimentOption("WithIterations", func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("ulba: WithIterations(%d) must be positive", n)
+		}
+		s.cfg.Iterations = n
+		return nil
+	})
+}
+
+// WithApp replaces the application instance (geometry, rocks, seed).
+func WithApp(app AppConfig) Option {
+	return experimentOption("WithApp", func(s *settings) error {
+		s.cfg.App = app
+		return nil
+	})
+}
+
+// WithCostModel replaces the simulated cluster's cost model.
+func WithCostModel(cm CostModel) Option {
+	return experimentOption("WithCostModel", func(s *settings) error {
+		s.cfg.Cost = cm
+		return nil
+	})
+}
+
+// WithZThreshold sets the overload-detection z-score threshold (paper
+// default: 3.0).
+func WithZThreshold(z float64) Option {
+	return experimentOption("WithZThreshold", func(s *settings) error {
+		if z <= 0 {
+			return fmt.Errorf("ulba: WithZThreshold(%g) must be positive", z)
+		}
+		s.cfg.ZThreshold = z
+		return nil
+	})
+}
+
+// WithOSNoise injects up to sec seconds of deterministic pseudo-random
+// system noise into every PE at every iteration.
+func WithOSNoise(sec float64) Option {
+	return experimentOption("WithOSNoise", func(s *settings) error {
+		if sec < 0 {
+			return fmt.Errorf("ulba: WithOSNoise(%g) must be non-negative", sec)
+		}
+		s.cfg.OSNoise = sec
+		return nil
+	})
+}
+
+// WithOverheadTerm toggles the Eq. 11 overhead estimate in the ULBA trigger
+// threshold (Section III-C). Experiments default to including it.
+func WithOverheadTerm(include bool) Option {
+	return experimentOption("WithOverheadTerm", func(s *settings) error {
+		s.cfg.IncludeOverhead = include
+		return nil
+	})
+}
+
+// WithRCB switches the partitioner to 1D recursive bisection (even split
+// only), an ablation of the stripe prefix-sum partitioner. Incompatible
+// with ULBA, which needs weighted targets.
+func WithRCB(use bool) Option {
+	return experimentOption("WithRCB", func(s *settings) error {
+		s.cfg.UseRCB = use
+		return nil
+	})
+}
+
+// WithSeed sets the application instance seed. It is applied after every
+// other option, so it composes with WithApp in any order.
+func WithSeed(seed uint64) Option {
+	return experimentOption("WithSeed", func(s *settings) error {
+		s.seed = &seed
+		return nil
+	})
+}
+
+// WithTrigger installs a runtime trigger (when to balance, decided from the
+// measured iteration times). Mutually exclusive with WithPlanner.
+func WithTrigger(t Trigger) Option {
+	return experimentOption("WithTrigger", func(s *settings) error {
+		if t == nil {
+			return fmt.Errorf("ulba: WithTrigger(nil)")
+		}
+		s.trigger = t
+		return nil
+	})
+}
+
+// WithPlanner installs a planner. For an Experiment the planner precomputes
+// the LB schedule from the analytic model (WithModel is then required) and
+// the run replays it; for a Sweep the planner builds the ULBA schedule each
+// instance is evaluated on. Mutually exclusive with WithTrigger.
+func WithPlanner(pl Planner) Option {
+	return sharedOption("WithPlanner", func(s *settings) error {
+		if pl == nil {
+			return fmt.Errorf("ulba: WithPlanner(nil)")
+		}
+		s.planner = pl
+		return nil
+	})
+}
+
+// WithModel attaches the analytic model parameters an Experiment's planner
+// plans against.
+func WithModel(mp ModelParams) Option {
+	return experimentOption("WithModel", func(s *settings) error {
+		s.model = &mp
+		return nil
+	})
+}
+
+// WithWorkers bounds the number of concurrent runs or instance evaluations.
+// n <= 0 selects GOMAXPROCS. Results never depend on the worker count.
+func WithWorkers(n int) Option {
+	return sharedOption("WithWorkers", func(s *settings) error {
+		s.workers = n
+		return nil
+	})
+}
+
+// WithAlphaGrid sets how many alpha values a Sweep scans per instance
+// (paper: 100, uniformly over [0, 1], always including 0).
+func WithAlphaGrid(n int) Option {
+	return sweepOption("WithAlphaGrid", func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("ulba: WithAlphaGrid(%d) must be at least 1", n)
+		}
+		s.alphaGrid = n
+		return nil
+	})
+}

@@ -1,0 +1,200 @@
+package ulba
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ulba/internal/schedule"
+	"ulba/internal/simulate"
+	"ulba/internal/stats"
+)
+
+// Comparison is the outcome of evaluating one instance under both methods:
+// the standard method on its Menon schedule versus ULBA at its best
+// grid-alpha on the planner's schedule.
+type Comparison = simulate.Comparison
+
+// FiveNum is a five-number summary (min, quartiles, max) plus the mean.
+type FiveNum = stats.FiveNum
+
+// Sweep is the batch engine for model-side experiments: it evaluates many
+// application instances concurrently over a bounded worker pool, streaming
+// per-instance Comparison results and aggregating them deterministically.
+// It is the engine behind the paper's Fig. 3 ("1000 instances per bucket")
+// promoted to the public surface. Build it with NewSweep; a constructed
+// Sweep is immutable and safe for concurrent use.
+type Sweep struct {
+	workers int
+	grid    []float64 // alpha grid, built once and shared read-only
+	planner Planner
+}
+
+// NewSweep builds a sweep engine. Defaults: GOMAXPROCS workers, the paper's
+// 100-point alpha grid, and the sigma+ planner (the paper's proposal).
+// WithPlanner swaps the schedule policy ULBA is evaluated on — e.g.
+// AnnealPlanner reproduces the Fig. 2 comparison basis.
+func NewSweep(opts ...Option) (*Sweep, error) {
+	s := settings{alphaGrid: 100}
+	if err := applyOptions(&s, scopeSweep, "Sweep", opts); err != nil {
+		return nil, err
+	}
+	if pl, ok := s.planner.(PeriodicPlanner); ok && pl.Every <= 0 {
+		return nil, fmt.Errorf("ulba: periodic planner needs Every > 0, got %d", pl.Every)
+	}
+	return &Sweep{workers: s.workers, grid: simulate.AlphaGrid(s.alphaGrid), planner: s.planner}, nil
+}
+
+// SweepResult is one streamed instance outcome. Index is the instance's
+// position in the input slice, so consumers can restore input order
+// regardless of completion order.
+type SweepResult struct {
+	Index      int
+	Comparison Comparison
+	Err        error
+}
+
+// SweepSummary aggregates a completed sweep. Aggregation happens in input
+// order over deterministic per-instance evaluations, so the summary is
+// bit-identical for every worker count.
+type SweepSummary struct {
+	Instances     int
+	Gains         FiveNum // distribution of per-instance fractional gains
+	MeanBestAlpha float64
+	ULBAWins      int // instances where ULBA strictly beat the standard method
+}
+
+// compare evaluates one instance. With the default (sigma+) planner this is
+// exactly the paper's comparison; with a custom planner the ULBA side is
+// evaluated on that planner's schedule at each grid alpha.
+func (s *Sweep) compare(p ModelParams) (Comparison, error) {
+	if s.planner == nil {
+		return simulate.Compare(p, s.grid), nil
+	}
+	std := simulate.StandardTime(p)
+	best, bestAlpha := -1.0, 0.0
+	for _, a := range s.grid {
+		pa := p.WithAlpha(a)
+		sched, err := s.planner.Plan(pa, 0)
+		if err != nil {
+			return Comparison{}, fmt.Errorf("ulba: planner %q on instance %v: %w", s.planner.Name(), p, err)
+		}
+		t := schedule.TotalTimeULBA(pa, sched)
+		if best < 0 || t < best {
+			best, bestAlpha = t, a
+		}
+	}
+	return Comparison{
+		Params:    p,
+		StdTime:   std,
+		ULBATime:  best,
+		BestAlpha: bestAlpha,
+		Gain:      (std - best) / std,
+	}, nil
+}
+
+// Stream evaluates the instances over the worker pool and sends one
+// SweepResult per instance as soon as it completes (not in input order).
+// The channel is closed when every instance has been delivered or the
+// context is cancelled, whichever comes first.
+func (s *Sweep) Stream(ctx context.Context, params []ModelParams) <-chan SweepResult {
+	out := make(chan SweepResult)
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(params) {
+		workers = len(params)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c, err := s.compare(params[i])
+				select {
+				case out <- SweepResult{Index: i, Comparison: c, Err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(out)
+	dispatch:
+		for i := range params {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(idx)
+		wg.Wait()
+	}()
+	return out
+}
+
+// Run evaluates every instance and returns the input-ordered comparisons
+// with their aggregate summary. Cancelling the context mid-sweep abandons
+// the remaining instances and returns ctx.Err(). For a fixed instance set
+// the output is bit-identical regardless of the worker count.
+func (s *Sweep) Run(ctx context.Context, params []ModelParams) (SweepSummary, []Comparison, error) {
+	// A per-run child context lets the first instance error stop the
+	// dispatch of the remaining instances instead of evaluating a doomed
+	// sweep to completion.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	comps := make([]Comparison, len(params))
+	got := 0
+	var firstErr error
+	firstErrIdx := -1
+	for r := range s.Stream(runCtx, params) {
+		if r.Err != nil {
+			if firstErrIdx < 0 || r.Index < firstErrIdx {
+				firstErr, firstErrIdx = r.Err, r.Index
+			}
+			cancel()
+			continue
+		}
+		comps[r.Index] = r.Comparison
+		got++
+	}
+	if firstErr != nil {
+		return SweepSummary{}, nil, firstErr
+	}
+	if got < len(params) {
+		if err := ctx.Err(); err != nil {
+			return SweepSummary{}, nil, err
+		}
+		return SweepSummary{}, nil, fmt.Errorf("ulba: sweep delivered %d of %d instances", got, len(params))
+	}
+	return summarizeSweep(comps), comps, nil
+}
+
+// summarizeSweep aggregates comparisons in slice order.
+func summarizeSweep(comps []Comparison) SweepSummary {
+	sum := SweepSummary{Instances: len(comps)}
+	if len(comps) == 0 {
+		return sum
+	}
+	gains := make([]float64, len(comps))
+	var alphaSum float64
+	for i, c := range comps {
+		gains[i] = c.Gain
+		alphaSum += c.BestAlpha
+		if c.Gain > 0 {
+			sum.ULBAWins++
+		}
+	}
+	sum.Gains = stats.Summarize(gains)
+	sum.MeanBestAlpha = alphaSum / float64(len(comps))
+	return sum
+}

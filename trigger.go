@@ -1,0 +1,157 @@
+package ulba
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ulba/internal/lb"
+	"ulba/internal/schedule"
+)
+
+// RuntimeTrigger is the per-run trigger state machine the load-balancing
+// runner drives: it observes each iteration's wall time and decides, against
+// the measured LB-cost threshold, when the balancer fires. Implementations
+// must be deterministic functions of the observed values — LB calls are
+// collective, so every PE must reach the same decision.
+type RuntimeTrigger = lb.Trigger
+
+// A Trigger decides *at runtime* when to balance. It is the reactive
+// counterpart of a Planner: instead of precomputing a schedule from the
+// analytic model, it watches the measured iteration times. A Trigger value
+// is a factory: every rank of a run calls New once for a fresh, independent
+// state machine.
+type Trigger interface {
+	// Name identifies the trigger, matching its registry key.
+	Name() string
+	// New returns a fresh runtime state machine.
+	New() RuntimeTrigger
+}
+
+// DegradationTrigger is the paper's adaptive rule (the default): the exact
+// accumulated degradation of Zhai et al. [7] compared against the average
+// measured LB cost (Algorithm 1).
+type DegradationTrigger struct{}
+
+// Name returns "degradation".
+func (DegradationTrigger) Name() string { return "degradation" }
+
+// New returns a fresh degradation accumulator.
+func (DegradationTrigger) New() RuntimeTrigger { return lb.NewDegradation() }
+
+// MenonTrigger fires at the fitted analytic optimum of Menon et al. [6]:
+// tau = sqrt(2*C*omega/m^) with the growth rate fitted from the observed
+// iteration times.
+type MenonTrigger struct{}
+
+// Name returns "menon".
+func (MenonTrigger) Name() string { return "menon" }
+
+// New returns a fresh Menon trigger.
+func (MenonTrigger) New() RuntimeTrigger { return lb.NewMenonTau() }
+
+// PeriodicTrigger fires every Every iterations regardless of the measured
+// times, the fixed-interval baseline.
+type PeriodicTrigger struct {
+	Every int // interval in iterations; must be positive
+}
+
+// Name returns "periodic".
+func (PeriodicTrigger) Name() string { return "periodic" }
+
+// New returns a fresh periodic counter.
+func (t PeriodicTrigger) New() RuntimeTrigger { return &lb.Periodic{K: t.Every} }
+
+// NeverTrigger disables load balancing entirely (the static baseline).
+type NeverTrigger struct{}
+
+// Name returns "never".
+func (NeverTrigger) Name() string { return "never" }
+
+// New returns the inert trigger.
+func (NeverTrigger) New() RuntimeTrigger { return lb.Never{} }
+
+// ScheduleTrigger replays a precomputed plan at runtime: the balancer fires
+// exactly at the schedule's iterations. It is the bridge from a Planner to
+// the application runtime — plan on the model, execute on the simulated
+// cluster.
+type ScheduleTrigger struct {
+	Schedule Schedule
+}
+
+// Name returns "schedule".
+func (ScheduleTrigger) Name() string { return "schedule" }
+
+// New returns a fresh replay cursor over the schedule.
+func (t ScheduleTrigger) New() RuntimeTrigger {
+	return &lb.FixedSchedule{Iters: t.Schedule}
+}
+
+// TriggerFactory constructs a trigger with its default configuration.
+type TriggerFactory func() Trigger
+
+var (
+	triggerMu  sync.RWMutex
+	triggerReg = map[string]TriggerFactory{}
+)
+
+// RegisterTrigger makes a trigger selectable by name, e.g. from the
+// -trigger flag of the CLIs. It errors on the empty name, a nil factory, or
+// a duplicate registration.
+func RegisterTrigger(name string, f TriggerFactory) error {
+	if name == "" {
+		return fmt.Errorf("ulba: trigger name must not be empty")
+	}
+	if f == nil {
+		return fmt.Errorf("ulba: trigger %q: nil factory", name)
+	}
+	triggerMu.Lock()
+	defer triggerMu.Unlock()
+	if _, dup := triggerReg[name]; dup {
+		return fmt.Errorf("ulba: trigger %q already registered", name)
+	}
+	triggerReg[name] = f
+	return nil
+}
+
+// NewTrigger constructs the registered trigger with the given name.
+func NewTrigger(name string) (Trigger, error) {
+	triggerMu.RLock()
+	f, ok := triggerReg[name]
+	triggerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ulba: unknown trigger %q (registered: %v)", name, TriggerNames())
+	}
+	return f(), nil
+}
+
+// TriggerNames lists the registered triggers in sorted order.
+func TriggerNames() []string {
+	triggerMu.RLock()
+	defer triggerMu.RUnlock()
+	names := make([]string, 0, len(triggerReg))
+	for n := range triggerReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func mustRegisterTrigger(name string, f TriggerFactory) {
+	if err := RegisterTrigger(name, f); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterTrigger("degradation", func() Trigger { return DegradationTrigger{} })
+	mustRegisterTrigger("menon", func() Trigger { return MenonTrigger{} })
+	mustRegisterTrigger("periodic", func() Trigger { return PeriodicTrigger{Every: 10} })
+	mustRegisterTrigger("never", func() Trigger { return NeverTrigger{} })
+}
+
+// normalizeSchedule clamps an arbitrary iteration list into a valid
+// schedule for a gamma-iteration run.
+func normalizeSchedule(iters []int, gamma int) Schedule {
+	return schedule.Normalize(iters, gamma)
+}
