@@ -1,0 +1,204 @@
+// Command ulba-bench runs a pinned sweep workload and records the
+// performance trajectory of the evaluation core as BENCH_sweep.json:
+// instances per second, nanoseconds and heap allocations per instance on
+// the fast path, and the speedup over the materialize-a-Schedule-per-alpha
+// slow path. CI runs it in -short mode on every PR and uploads the JSON as
+// an artifact, so regressions in the hot path show up as a broken
+// trajectory rather than an anecdote.
+//
+// The workload is pinned (seed, instance count, alpha grid), and the
+// summary block of the output is bit-deterministic: any change there means
+// the evaluation semantics moved, not just the clock. The tool exits
+// non-zero if the fast and slow paths disagree.
+//
+// Examples:
+//
+//	ulba-bench                          # full workload, BENCH_sweep.json
+//	ulba-bench -short                   # CI-sized workload
+//	ulba-bench -instances 5000 -out /tmp/bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ulba"
+	"ulba/internal/schedule"
+)
+
+// slowSigmaPlanner plans the same sigma+ schedules as the built-in planner
+// but through a distinct type, which forces the Sweep onto the general
+// Planner.Plan path — the pre-evaluator slow baseline.
+type slowSigmaPlanner struct{}
+
+func (slowSigmaPlanner) Name() string { return "sigma+slow" }
+
+func (slowSigmaPlanner) Plan(p ulba.ModelParams, gamma int) (ulba.Schedule, error) {
+	return ulba.SigmaPlusPlanner{}.Plan(p, gamma)
+}
+
+// summaryRecord is the deterministic part of the trajectory: identical
+// whenever the evaluation semantics (not the hardware) are identical.
+type summaryRecord struct {
+	MedianGain    float64 `json:"median_gain"`
+	MeanGain      float64 `json:"mean_gain"`
+	MeanBestAlpha float64 `json:"mean_best_alpha"`
+	ULBAWins      int     `json:"ulba_wins"`
+}
+
+// benchRecord is one BENCH_sweep.json entry.
+type benchRecord struct {
+	Name      string `json:"name"`
+	Timestamp string `json:"timestamp"`
+	Go        string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Short     bool   `json:"short"`
+
+	Instances int    `json:"instances"`
+	AlphaGrid int    `json:"alpha_grid"`
+	Workers   int    `json:"workers"`
+	Seed      uint64 `json:"seed"`
+
+	FastSeconds       float64 `json:"fast_seconds"`
+	InstancesPerSec   float64 `json:"instances_per_sec"`
+	NsPerInstance     float64 `json:"ns_per_instance"`
+	AllocsPerInstance float64 `json:"allocs_per_instance"`
+
+	SlowSeconds   float64       `json:"slow_seconds,omitempty"`
+	SlowNsPerInst float64       `json:"slow_ns_per_instance,omitempty"`
+	Speedup       float64       `json:"speedup,omitempty"`
+	MeanLBSteps   float64       `json:"mean_lb_steps"`
+	Summary       summaryRecord `json:"summary"`
+}
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		instances = flag.Int("instances", 2000, "number of Table II instances in the pinned workload")
+		alphas    = flag.Int("alphas", 100, "alpha grid size (paper: 100)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep workers")
+		seed      = flag.Uint64("seed", 2019, "instance-sampling seed (pinned: changing it forks the trajectory)")
+		short     = flag.Bool("short", false, "CI-sized workload (200 instances unless -instances is given explicitly)")
+		noSlow    = flag.Bool("noslow", false, "skip the slow-path baseline (no speedup field)")
+		out       = flag.String("out", "BENCH_sweep.json", "output file; - for stdout")
+	)
+	flag.Parse()
+	instancesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "instances" {
+			instancesSet = true
+		}
+	})
+	if *short && !instancesSet {
+		*instances = 200
+	}
+	if *instances <= 0 {
+		fatal(fmt.Sprintf("-instances must be positive, got %d", *instances))
+	}
+	ctx := context.Background()
+
+	params := ulba.SampleInstances(*seed, *instances)
+
+	fast, err := ulba.NewSweep(ulba.WithAlphaGrid(*alphas), ulba.WithWorkers(*workers))
+	if err != nil {
+		fatal(err)
+	}
+
+	// Warm up once so one-time costs (scheduler, page faults) stay out of
+	// the measured run, then measure wall time and heap allocations.
+	if _, _, err := fast.Run(ctx, params[:min(len(params), 32)]); err != nil {
+		fatal("warmup:", err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fastSum, fastComps, err := fast.Run(ctx, params)
+	fastDur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		fatal("fast sweep:", err)
+	}
+
+	rec := benchRecord{
+		Name:      "sweep",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Short:     *short,
+		Instances: *instances,
+		AlphaGrid: *alphas,
+		Workers:   *workers,
+		Seed:      *seed,
+
+		FastSeconds:       fastDur.Seconds(),
+		InstancesPerSec:   float64(len(params)) / fastDur.Seconds(),
+		NsPerInstance:     float64(fastDur.Nanoseconds()) / float64(len(params)),
+		AllocsPerInstance: float64(after.Mallocs-before.Mallocs) / float64(len(params)),
+		Summary: summaryRecord{
+			MedianGain:    fastSum.Gains.Median,
+			MeanGain:      fastSum.Gains.Mean,
+			MeanBestAlpha: fastSum.MeanBestAlpha,
+			ULBAWins:      fastSum.ULBAWins,
+		},
+	}
+
+	// Mean sigma+ schedule length at each instance's best alpha, via the
+	// evaluator's scratch buffer (no per-instance schedule allocations).
+	var ev schedule.Evaluator
+	steps := 0
+	for _, c := range fastComps {
+		steps += len(ev.SigmaPlus(c.Params.WithAlpha(c.BestAlpha)))
+	}
+	rec.MeanLBSteps = float64(steps) / float64(len(fastComps))
+
+	if !*noSlow {
+		slow, err := ulba.NewSweep(ulba.WithAlphaGrid(*alphas), ulba.WithWorkers(*workers),
+			ulba.WithPlanner(slowSigmaPlanner{}))
+		if err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		slowSum, _, err := slow.Run(ctx, params)
+		slowDur := time.Since(start)
+		if err != nil {
+			fatal("slow sweep:", err)
+		}
+		if slowSum != fastSum {
+			fatal(fmt.Sprintf("fast and slow paths disagree — evaluator bug:\nfast: %+v\nslow: %+v", fastSum, slowSum))
+		}
+		rec.SlowSeconds = slowDur.Seconds()
+		rec.SlowNsPerInst = float64(slowDur.Nanoseconds()) / float64(len(params))
+		rec.Speedup = slowDur.Seconds() / fastDur.Seconds()
+	}
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep: %d instances x %d alphas, %d workers: %.0f instances/sec, %.0f ns/instance, %.2f allocs/instance",
+		rec.Instances, rec.AlphaGrid, rec.Workers, rec.InstancesPerSec, rec.NsPerInstance, rec.AllocsPerInstance)
+	if rec.Speedup > 0 {
+		fmt.Fprintf(os.Stderr, ", %.1fx over slow path", rec.Speedup)
+	}
+	fmt.Fprintln(os.Stderr)
+}

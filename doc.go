@@ -30,6 +30,29 @@
 // Comparison results and aggregates them bit-identically for every worker
 // count.
 //
+// # Evaluation core
+//
+// The hot loop of the synthetic experiments — one instance scanned over a
+// 100-point alpha grid — runs on an allocation-free incremental evaluator
+// (internal/schedule.Evaluator). It walks the sigma+ schedule on the fly
+// instead of materializing a Schedule per grid point, prunes grid alphas
+// whose partial total already exceeds the best seen (the running sum is
+// monotone), and keeps every floating-point operation in the same order as
+// the materialized slow path, so its totals are bit-identical, not merely
+// close. Sweep dispatches to this fast path for the default sigma+ policy
+// (planner omitted, or SigmaPlusPlanner installed explicitly) and falls
+// back to the general Planner.Plan path only for custom planners; a golden
+// test pins the two paths to identical SweepSummary output.
+//
+// # Determinism
+//
+// Three guarantees compose: per-instance evaluations are pure functions of
+// their parameters; Sweep aggregates in input order regardless of
+// completion order, so summaries are bit-identical for every worker count;
+// and the fast path is bit-identical to the slow path, so enabling the
+// optimization is unobservable in results. Run cmd/ulba-bench to verify
+// the fast/slow agreement on your hardware while recording throughput.
+//
 // Quick start:
 //
 //	exp, err := ulba.New(32,

@@ -1,6 +1,7 @@
 package ulba_test
 
 import (
+	"context"
 	"fmt"
 
 	"ulba"
@@ -42,32 +43,124 @@ func ExampleBestAlpha() {
 	// ULBA at its best alpha is at least as fast: true
 }
 
-// ExampleMenonSchedule builds the standard method's LB schedule for a
-// sampled instance and shows it is valid and non-empty.
-func ExampleMenonSchedule() {
-	p := ulba.SampleInstances(7, 1)[0]
-	s := ulba.MenonSchedule(p)
-	fmt.Println("valid:", s.Validate(p.Gamma) == nil)
-	fmt.Println("has LB calls:", s.Count() > 0)
-	// Output:
-	// valid: true
-	// has LB calls: true
-}
-
-// ExampleRun executes the erosion application under ULBA on a small
-// instance and prints invariants every run satisfies.
-func ExampleRun() {
-	cfg := ulba.DefaultRunConfig(8, ulba.ULBA)
-	cfg.App.StripeWidth = 48
-	cfg.App.Height = 100
-	cfg.App.Radius = 12
-	cfg.Iterations = 30
-	res, err := ulba.Run(cfg)
+// ExampleNewSweep evaluates a batch of Table II instances under both
+// methods with the concurrent sweep engine — the paper's Fig. 3 loop. The
+// summary is aggregated in input order, so it is bit-identical for every
+// worker count.
+func ExampleNewSweep() {
+	sweep, err := ulba.NewSweep(ulba.WithWorkers(4), ulba.WithAlphaGrid(21))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Println("completed iterations:", len(res.IterTimes) == cfg.Iterations)
+	summary, comps, err := sweep.Run(context.Background(), ulba.SampleInstances(2019, 100))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("instances evaluated:", summary.Instances)
+	fmt.Println("per-instance comparisons:", len(comps))
+	fmt.Println("median gain positive:", summary.Gains.Median > 0)
+	fmt.Println("mean best alpha in (0, 1):", summary.MeanBestAlpha > 0 && summary.MeanBestAlpha < 1)
+	// Output:
+	// instances evaluated: 100
+	// per-instance comparisons: 100
+	// median gain positive: true
+	// mean best alpha in (0, 1): true
+}
+
+// ExampleSweep_Stream consumes per-instance results as they complete.
+// Results arrive in completion order; the Index field restores input order.
+func ExampleSweep_Stream() {
+	sweep, err := ulba.NewSweep(ulba.WithWorkers(2), ulba.WithAlphaGrid(11))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Cancel before abandoning the stream early (as on the error path
+	// below): cancellation is what releases the sweep's workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	params := ulba.SampleInstances(7, 8)
+	gains := make([]float64, len(params))
+	for r := range sweep.Stream(ctx, params) {
+		if r.Err != nil {
+			fmt.Println("error:", r.Err)
+			return
+		}
+		gains[r.Index] = r.Comparison.Gain
+	}
+	allNonNegative := true
+	for _, g := range gains {
+		if g < 0 {
+			allNonNegative = false
+		}
+	}
+	fmt.Println("instances streamed:", len(gains))
+	fmt.Println("all gains non-negative:", allNonNegative)
+	// Output:
+	// instances streamed: 8
+	// all gains non-negative: true
+}
+
+// ExampleNewPlanner selects policies by registry name, as the CLIs'
+// -planner and -trigger flags do, and plans a LB schedule on the analytic
+// model.
+func ExampleNewPlanner() {
+	// PlannerNames() and TriggerNames() list every registered name; the
+	// built-ins are always present.
+	registered := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	fmt.Println("sigma+ planner registered:", registered(ulba.PlannerNames(), "sigma+"))
+	fmt.Println("degradation trigger registered:", registered(ulba.TriggerNames(), "degradation"))
+
+	planner, err := ulba.NewPlanner("menon")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("selected planner:", planner.Name())
+	p := ulba.SampleInstances(7, 1)[0]
+	s, err := planner.Plan(p, 0)
+	fmt.Println("plan valid:", err == nil && s.Validate(p.Gamma) == nil)
+	fmt.Println("has LB calls:", s.Count() > 0)
+	// Output:
+	// sigma+ planner registered: true
+	// degradation trigger registered: true
+	// selected planner: menon
+	// plan valid: true
+	// has LB calls: true
+}
+
+// ExampleNew executes the erosion application under ULBA on a small
+// instance with the Experiment builder and prints invariants every run
+// satisfies.
+func ExampleNew() {
+	app := ulba.DefaultAppConfig(8)
+	app.StripeWidth = 48
+	app.Height = 100
+	app.Radius = 12
+	exp, err := ulba.New(8,
+		ulba.WithMethod(ulba.ULBA),
+		ulba.WithApp(app),
+		ulba.WithIterations(30),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed iterations:", len(res.IterTimes) == 30)
 	fmt.Println("made progress:", res.TotalTime > 0 && res.Eroded > 0)
 	fmt.Println("balancer ran:", res.LBCount() >= 1)
 	// Output:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ulba/internal/lb"
+	"ulba/internal/schedule"
 )
 
 // Experiment is one fully validated application run: the erosion instance,
@@ -12,11 +13,13 @@ import (
 // planned Schedule). Build it with New; a constructed Experiment is
 // immutable and safe for concurrent use.
 type Experiment struct {
-	cfg     RunConfig
-	trigger Trigger
-	planner Planner
-	planned Schedule
-	workers int
+	cfg       RunConfig
+	trigger   Trigger
+	planner   Planner
+	planned   Schedule
+	workers   int
+	predicted float64
+	hasModel  bool
 }
 
 // New builds an Experiment for p PEs. With no options it reproduces
@@ -55,6 +58,22 @@ func New(p int, opts ...Option) (*Experiment, error) {
 		// The plan already contains the (possibly absent) first step; a
 		// forced warmup call would distort it.
 		s.cfg.WarmupLB = -1
+		// Model-side prediction for PlannedTotalTime: Eq. 4 on the planned
+		// schedule under the *run's* configured method — Eq. 2 per
+		// iteration for the standard method, Eq. 5 at the run's alpha for
+		// ULBA (an adaptive-alpha run is predicted at its initial alpha).
+		// The schedule itself was planned on the model as given, so the
+		// prediction matches what Run will replay.
+		mp := *s.model
+		if s.cfg.Iterations > 0 {
+			mp.Gamma = s.cfg.Iterations
+		}
+		if s.cfg.Method == ULBA {
+			e.predicted = schedule.TotalTimeULBA(mp.WithAlpha(s.cfg.Alpha), e.planned)
+		} else {
+			e.predicted = schedule.TotalTimeStd(mp, e.planned)
+		}
+		e.hasModel = true
 	case s.trigger != nil:
 		if pt, ok := s.trigger.(PeriodicTrigger); ok && pt.Every <= 0 {
 			return nil, fmt.Errorf("ulba: periodic trigger needs Every > 0, got %d", pt.Every)
@@ -83,6 +102,16 @@ func (e *Experiment) Trigger() Trigger { return e.trigger }
 // PlannedSchedule returns the LB schedule precomputed by WithPlanner, or
 // nil for reactive (trigger-driven) experiments.
 func (e *Experiment) PlannedSchedule() Schedule { return e.planned }
+
+// PlannedTotalTime returns the analytic model's predicted total parallel
+// time (Eq. 4) for the schedule the planner precomputed, evaluated under
+// the experiment's configured method — Eq. 2 for Standard, Eq. 5 at the
+// run's alpha for ULBA (adaptive-alpha runs are predicted at their initial
+// alpha) — and whether such a prediction exists. It reports false for
+// trigger-driven experiments, which have no model to predict from.
+// Comparing the prediction against Run's measured TotalTime shows how far
+// the simulated application drifts from the analytic model.
+func (e *Experiment) PlannedTotalTime() (float64, bool) { return e.predicted, e.hasModel }
 
 // Run executes the experiment on the simulated cluster. Runs are
 // deterministic: the same Experiment always produces the same Result.

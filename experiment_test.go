@@ -143,6 +143,65 @@ func TestExperimentPlannedSchedule(t *testing.T) {
 	}
 }
 
+// PlannedTotalTime is the evaluator-backed model prediction: it must equal
+// evaluating the planned schedule on the model exactly, exist only for
+// planner-driven experiments, and for sigma+ match the public facade.
+func TestExperimentPlannedTotalTime(t *testing.T) {
+	mp := ulba.SampleInstances(9, 1)[0]
+
+	e, err := ulba.New(8, ulba.WithApp(smallApp(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.PlannedTotalTime(); ok {
+		t.Error("trigger-driven experiment reports a planned total time")
+	}
+
+	for _, pl := range []ulba.Planner{ulba.SigmaPlusPlanner{}, ulba.PeriodicPlanner{Every: 9}} {
+		// ULBA experiment: predicted at the run's alpha (0.55 here), not
+		// the model's.
+		e, err := ulba.New(8,
+			ulba.WithMethod(ulba.ULBA),
+			ulba.WithAlpha(0.55),
+			ulba.WithApp(smallApp(8)),
+			ulba.WithIterations(40),
+			ulba.WithModel(mp),
+			ulba.WithPlanner(pl),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := e.PlannedTotalTime()
+		if !ok {
+			t.Fatalf("planner %q: no planned total time", pl.Name())
+		}
+		mp40 := mp
+		mp40.Gamma = 40
+		if want := ulba.EvaluateSchedule(mp40.WithAlpha(0.55), e.PlannedSchedule()); got != want {
+			t.Errorf("planner %q: PlannedTotalTime %v != schedule evaluation %v", pl.Name(), got, want)
+		}
+
+		// Standard-method experiment on the same plan: predicted with
+		// Eq. 2, which EvaluateSchedule at alpha = 0 recovers exactly.
+		es, err := ulba.New(8,
+			ulba.WithApp(smallApp(8)),
+			ulba.WithIterations(40),
+			ulba.WithModel(mp),
+			ulba.WithPlanner(pl),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStd, ok := es.PlannedTotalTime()
+		if !ok {
+			t.Fatalf("planner %q: standard experiment has no planned total time", pl.Name())
+		}
+		if want := ulba.EvaluateSchedule(mp40.WithAlpha(0), es.PlannedSchedule()); gotStd != want {
+			t.Errorf("planner %q: standard PlannedTotalTime %v != alpha-0 evaluation %v", pl.Name(), gotStd, want)
+		}
+	}
+}
+
 func TestExperimentTriggerByName(t *testing.T) {
 	trig, err := ulba.NewTrigger("never")
 	if err != nil {

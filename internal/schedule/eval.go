@@ -1,0 +1,178 @@
+package schedule
+
+import (
+	"math"
+
+	"ulba/internal/model"
+)
+
+// Evaluator evaluates the sigma+ schedule family incrementally, without
+// materializing a Schedule per evaluation. It is the allocation-free core
+// behind the alpha-grid scans of the Figs. 2-3 experiments and the public
+// Sweep fast path: one instance times one 100-point alpha grid costs zero
+// heap allocations instead of the ~2 per grid point of the slow path
+// (EverySigmaPlus followed by TotalTimeULBA).
+//
+// Bit-identicality contract: every total returned by an Evaluator method is
+// the result of the same floating-point operations, applied in the same
+// order, as the corresponding slow-path composition — TotalTimeULBA (or
+// TotalTimeStd) over EverySigmaPlus. The incremental loops hoist only
+// already-rounded interval constants (the balanced share, sigma-, the
+// overloading ratio) and keep each per-iteration expression term-for-term
+// identical to model.Params.ULBAIterTime / StdIterTime, so no re-association
+// or fused-multiply-add difference can creep in. Golden tests in this
+// package and the SweepSummary golden test in the root package pin the
+// equivalence.
+//
+// An Evaluator additionally owns a scratch buffer reused by SigmaPlus for
+// callers that do need the materialized schedule. The zero value is ready to
+// use. An Evaluator is NOT safe for concurrent use; give each worker
+// goroutine its own.
+type Evaluator struct {
+	buf Schedule
+}
+
+// nextSigmaPlusStep returns the iteration of the LB step following a step at
+// lbp under the every-sigma+ policy, or p.Gamma when the schedule ends. It
+// reproduces one step of EverySigmaPlus exactly, including the floor and the
+// minimum step of one iteration.
+func nextSigmaPlusStep(p model.Params, lbp int) int {
+	sp, err := p.SigmaPlus(lbp)
+	if err != nil || math.IsInf(sp, 1) {
+		return p.Gamma
+	}
+	step := int(math.Floor(sp))
+	if step < 1 {
+		step = 1
+	}
+	next := lbp + step
+	if next >= p.Gamma {
+		return p.Gamma
+	}
+	return next
+}
+
+// ulbaSigmaPlusTime accumulates Eq. (4) under ULBA (Eq. 5 per iteration) for
+// the every-sigma+ schedule of p, walking the schedule on the fly. The
+// running total is monotone non-decreasing (iteration times and the LB cost
+// C are non-negative for valid parameters), so the scan aborts as soon as
+// the partial sum reaches bound: the full total could then never be strictly
+// below it. It returns the accumulated total and whether the evaluation ran
+// to completion; an aborted evaluation's total is a partial sum and only
+// meaningful as a lower bound on the true total.
+func ulbaSigmaPlusTime(p model.Params, bound float64) (float64, bool) {
+	// Only a finite bound prunes: with bound = +Inf a degenerate instance
+	// whose running total overflows to +Inf must still evaluate to
+	// completion and return (+Inf, true), exactly like the full scan —
+	// otherwise the +Inf >= +Inf comparison would mark it aborted.
+	prune := !math.IsInf(bound, 1)
+	total := 0.0
+	lbp := 0
+	for {
+		next := nextSigmaPlusStep(p, lbp)
+		// Interval constants, hoisted once per LB interval. Each is the
+		// identical rounded value ULBAIterTime computes per call.
+		share := p.Wtot(lbp) / float64(p.P)
+		sm, err := p.SigmaMinus(lbp)
+		if err != nil {
+			// No overloading PEs: the underloaded branch never ends.
+			sm = math.MaxInt64
+		}
+		over := p.Alpha * float64(p.N) / float64(p.P-p.N)
+		oneMinusAlpha := 1 - p.Alpha
+		ma := p.M + p.A
+		for i := lbp; i < next; i++ {
+			t := i - lbp
+			ft := float64(t)
+			if t <= sm {
+				total += ((1+over)*share + p.A*ft) / p.Omega
+			} else {
+				total += (oneMinusAlpha*share + ma*ft) / p.Omega
+			}
+			if prune && total >= bound {
+				return total, false
+			}
+		}
+		if next >= p.Gamma {
+			return total, true
+		}
+		total += p.C
+		lbp = next
+	}
+}
+
+// TotalTimeULBA returns TotalTimeULBA(p, EverySigmaPlus(p)) — the ULBA total
+// parallel time of the paper's proposed schedule at p.Alpha — without
+// materializing the schedule. The result is bit-identical to the slow path.
+func (e *Evaluator) TotalTimeULBA(p model.Params) float64 {
+	total, _ := ulbaSigmaPlusTime(p, math.Inf(1))
+	return total
+}
+
+// TotalTimeStd returns TotalTimeStd(p, EverySigmaPlus(p)) — the standard
+// method's total parallel time (Eq. 2 in Eqs. 3-4) on the every-sigma+
+// schedule of p — without materializing the schedule. Callers evaluating the
+// paper's standard baseline pass p.WithAlpha(0), which turns the schedule
+// into Menon's tau plan. The result is bit-identical to the slow path.
+func (e *Evaluator) TotalTimeStd(p model.Params) float64 {
+	total := 0.0
+	lbp := 0
+	for {
+		next := nextSigmaPlusStep(p, lbp)
+		share := p.Wtot(lbp) / float64(p.P)
+		ma := p.M + p.A
+		for i := lbp; i < next; i++ {
+			ft := float64(i - lbp)
+			total += (share + ma*ft) / p.Omega
+		}
+		if next >= p.Gamma {
+			return total
+		}
+		total += p.C
+		lbp = next
+	}
+}
+
+// BestAlphaIncremental scans the alpha grid and returns the alpha minimizing
+// the ULBA total time on the every-sigma+ schedule, with that time. It
+// returns exactly what a full scan (TotalTimeULBA at every grid point,
+// first-minimum-wins ties) returns, but prunes most grid points early: the
+// partial total is monotone in the iteration index, so an alpha whose
+// running sum reaches the best total seen so far is abandoned mid-schedule —
+// it can no longer be the strict minimum. The winning alpha is always
+// evaluated to completion, so the returned time is bit-identical to the
+// slow-path scan.
+func (e *Evaluator) BestAlphaIncremental(p model.Params, grid []float64) (alpha, best float64) {
+	best = -1
+	for _, a := range grid {
+		bound := best
+		if best < 0 {
+			bound = math.Inf(1)
+		}
+		t, complete := ulbaSigmaPlusTime(p.WithAlpha(a), bound)
+		if complete && (best < 0 || t < best) {
+			best, alpha = t, a
+		}
+	}
+	return alpha, best
+}
+
+// SigmaPlus returns the EverySigmaPlus schedule of p, reusing the
+// evaluator's scratch buffer across calls: after the first call on a given
+// Evaluator, building a schedule allocates only when it outgrows every
+// previous one. The returned slice aliases the buffer and is valid until the
+// next SigmaPlus call on the same Evaluator; callers that retain it must
+// copy. An empty schedule is returned as a zero-length slice.
+func (e *Evaluator) SigmaPlus(p model.Params) Schedule {
+	s := e.buf[:0]
+	lbp := 0
+	for {
+		next := nextSigmaPlusStep(p, lbp)
+		if next >= p.Gamma {
+			e.buf = s
+			return s
+		}
+		s = append(s, next)
+		lbp = next
+	}
+}

@@ -1,0 +1,188 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"ulba/internal/instance"
+	"ulba/internal/model"
+)
+
+// slowULBA is the pre-evaluator composition the fast path must reproduce
+// bit for bit.
+func slowULBA(p model.Params) float64 {
+	return TotalTimeULBA(p, EverySigmaPlus(p))
+}
+
+func slowStd(p model.Params) float64 {
+	return TotalTimeStd(p, EverySigmaPlus(p))
+}
+
+// The evaluator's ULBA total must be bit-identical (==, not within-epsilon)
+// to evaluating the materialized sigma+ schedule, across instances and the
+// whole alpha range.
+func TestEvaluatorULBABitIdentical(t *testing.T) {
+	gen := instance.NewGenerator(101)
+	var ev Evaluator
+	for i := 0; i < 200; i++ {
+		p := gen.Sample()
+		for _, a := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			pa := p.WithAlpha(a)
+			fast := ev.TotalTimeULBA(pa)
+			slow := slowULBA(pa)
+			if fast != slow {
+				t.Fatalf("instance %d alpha %g: evaluator %.17g != slow path %.17g (diff %g)\n%v",
+					i, a, fast, slow, fast-slow, pa)
+			}
+		}
+	}
+}
+
+// Same contract for the standard method on the sigma+/Menon schedule.
+func TestEvaluatorStdBitIdentical(t *testing.T) {
+	gen := instance.NewGenerator(102)
+	var ev Evaluator
+	for i := 0; i < 200; i++ {
+		p := gen.Sample().WithAlpha(0)
+		fast := ev.TotalTimeStd(p)
+		slow := slowStd(p)
+		if fast != slow {
+			t.Fatalf("instance %d: evaluator %.17g != slow path %.17g\n%v", i, fast, slow, p)
+		}
+	}
+}
+
+// BestAlphaIncremental must return exactly what the unpruned scan returns:
+// same argmin (first minimum wins ties) and the bit-identical time.
+func TestBestAlphaIncrementalMatchesFullScan(t *testing.T) {
+	gen := instance.NewGenerator(103)
+	grid := make([]float64, 100)
+	for i := range grid {
+		grid[i] = float64(i) / float64(len(grid)-1)
+	}
+	var ev Evaluator
+	for i := 0; i < 100; i++ {
+		p := gen.Sample()
+		fastAlpha, fastBest := ev.BestAlphaIncremental(p, grid)
+
+		slowAlpha, slowBest := 0.0, -1.0
+		for _, a := range grid {
+			tt := slowULBA(p.WithAlpha(a))
+			if slowBest < 0 || tt < slowBest {
+				slowBest, slowAlpha = tt, a
+			}
+		}
+		if fastAlpha != slowAlpha || fastBest != slowBest {
+			t.Fatalf("instance %d: incremental (%g, %.17g) != full scan (%g, %.17g)\n%v",
+				i, fastAlpha, fastBest, slowAlpha, slowBest, p)
+		}
+	}
+}
+
+// The scratch-buffer schedule must equal EverySigmaPlus element-wise.
+func TestEvaluatorSigmaPlusMatchesEverySigmaPlus(t *testing.T) {
+	gen := instance.NewGenerator(104)
+	var ev Evaluator
+	for i := 0; i < 100; i++ {
+		p := gen.Sample()
+		got := ev.SigmaPlus(p)
+		want := EverySigmaPlus(p)
+		if len(got) != len(want) {
+			t.Fatalf("instance %d: len %d != %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("instance %d: step %d: %d != %d", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// No overloading PEs: the schedule is empty and both paths agree.
+func TestEvaluatorNoOverload(t *testing.T) {
+	p := model.Params{
+		P: 64, N: 0, Gamma: 50,
+		W0: 1e10, DeltaW: 64 * 1e5, A: 1e5, M: 0,
+		Alpha: 0.3, Omega: 1e9, C: 1,
+	}
+	var ev Evaluator
+	if got, want := ev.TotalTimeULBA(p), slowULBA(p); got != want {
+		t.Errorf("ULBA no-overload: %g != %g", got, want)
+	}
+	if got, want := ev.TotalTimeStd(p), slowStd(p); got != want {
+		t.Errorf("std no-overload: %g != %g", got, want)
+	}
+	if s := ev.SigmaPlus(p); len(s) != 0 {
+		t.Errorf("no-overload schedule not empty: %v", s)
+	}
+}
+
+// A degenerate instance whose totals overflow to +Inf at every grid alpha
+// must match the full scan — (grid[0], +Inf) — not leak the -1 "nothing
+// found" sentinel. (Alpha = 1 is excluded: there the (1-alpha) term zeroes
+// the overflowing share and the total is legitimately finite.)
+func TestBestAlphaIncrementalInfiniteTotals(t *testing.T) {
+	p := instance.NewGenerator(107).Sample()
+	p.W0 = 1e308
+	p.Omega = 1e-10
+	grid := []float64{0, 0.5, 0.9}
+	for _, a := range grid {
+		if slow := slowULBA(p.WithAlpha(a)); !math.IsInf(slow, 1) {
+			t.Fatalf("test premise broken: alpha %g total %g is finite", a, slow)
+		}
+	}
+	alpha, best := new(Evaluator).BestAlphaIncremental(p, grid)
+	if alpha != grid[0] || !math.IsInf(best, 1) {
+		t.Errorf("infinite-total instance: got (%g, %g), want (%g, +Inf)", alpha, best, grid[0])
+	}
+}
+
+// The aborted-evaluation contract: a partial sum is a lower bound, and an
+// evaluation aborted against a bound would have ended at or above it.
+func TestULBATimeBoundedAborts(t *testing.T) {
+	p := instance.NewGenerator(105).Sample().WithAlpha(0.5)
+	full, complete := ulbaSigmaPlusTime(p, math.Inf(1))
+	if !complete {
+		t.Fatal("unbounded evaluation reported as aborted")
+	}
+	partial, complete := ulbaSigmaPlusTime(p, full/2)
+	if complete {
+		t.Fatal("evaluation bounded at half the total reported complete")
+	}
+	if partial < full/2 || partial > full {
+		t.Errorf("partial sum %g outside [bound, total] = [%g, %g]", partial, full/2, full)
+	}
+}
+
+// The evaluation core must not allocate: one instance times a 100-point
+// grid, zero heap allocations.
+func TestEvaluatorZeroAllocs(t *testing.T) {
+	p := instance.NewGenerator(106).Sample()
+	grid := make([]float64, 100)
+	for i := range grid {
+		grid[i] = float64(i) / float64(len(grid)-1)
+	}
+	var ev Evaluator
+	ev.SigmaPlus(p) // warm the scratch buffer once
+
+	if n := testing.AllocsPerRun(50, func() {
+		ev.TotalTimeULBA(p)
+	}); n != 0 {
+		t.Errorf("TotalTimeULBA allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		ev.TotalTimeStd(p)
+	}); n != 0 {
+		t.Errorf("TotalTimeStd allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		ev.BestAlphaIncremental(p, grid)
+	}); n != 0 {
+		t.Errorf("BestAlphaIncremental allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		ev.SigmaPlus(p)
+	}); n != 0 {
+		t.Errorf("SigmaPlus allocates %v times per run after warmup", n)
+	}
+}

@@ -46,38 +46,46 @@ func AlphaGrid(n int) []float64 {
 }
 
 // StandardTime evaluates the standard method: alpha = 0, LB steps every
-// Menon tau (equivalently sigma+ at alpha = 0), Eq. 2 in Eqs. 3-4.
+// Menon tau (equivalently sigma+ at alpha = 0), Eq. 2 in Eqs. 3-4. It runs
+// on the allocation-free incremental evaluator; the result is bit-identical
+// to materializing the schedule and evaluating it.
 func StandardTime(p model.Params) float64 {
-	p0 := p.WithAlpha(0)
-	return schedule.TotalTimeStd(p0, schedule.EverySigmaPlus(p0))
+	var ev schedule.Evaluator
+	return ev.TotalTimeStd(p.WithAlpha(0))
 }
 
 // ULBATimeAt evaluates ULBA at one alpha: LB steps every sigma+, Eq. 5 in
-// Eqs. 3-4.
+// Eqs. 3-4, on the incremental evaluator.
 func ULBATimeAt(p model.Params, alpha float64) float64 {
-	pa := p.WithAlpha(alpha)
-	return schedule.TotalTimeULBA(pa, schedule.EverySigmaPlus(pa))
+	var ev schedule.Evaluator
+	return ev.TotalTimeULBA(p.WithAlpha(alpha))
 }
 
 // BestAlpha scans the alpha grid and returns the alpha minimizing the ULBA
-// total time, with that time.
+// total time, with that time. Grid points are pruned incrementally (see
+// schedule.Evaluator.BestAlphaIncremental); the result is exactly that of a
+// full scan, first minimum winning ties.
 func BestAlpha(p model.Params, grid []float64) (alpha, best float64) {
-	best = -1
-	for _, a := range grid {
-		t := ULBATimeAt(p, a)
-		if best < 0 || t < best {
-			best = t
-			alpha = a
-		}
-	}
-	return alpha, best
+	var ev schedule.Evaluator
+	return ev.BestAlphaIncremental(p, grid)
 }
 
 // Compare evaluates one instance under both methods with the given alpha
 // grid.
 func Compare(p model.Params, grid []float64) Comparison {
-	std := StandardTime(p)
-	a, ub := BestAlpha(p, grid)
+	var ev schedule.Evaluator
+	return CompareWith(&ev, p, grid)
+}
+
+// CompareWith is Compare on a caller-supplied evaluator. The evaluation
+// itself is allocation-free and stateless; taking the evaluator explicitly
+// keeps its ownership per worker goroutine (an Evaluator is not safe for
+// concurrent use once its scratch state — schedule.Evaluator.SigmaPlus —
+// is involved). It is the per-instance kernel of the public Sweep fast
+// path.
+func CompareWith(ev *schedule.Evaluator, p model.Params, grid []float64) Comparison {
+	std := ev.TotalTimeStd(p.WithAlpha(0))
+	a, ub := ev.BestAlphaIncremental(p, grid)
 	return Comparison{
 		Params:    p,
 		StdTime:   std,
@@ -222,10 +230,11 @@ func AnnealSchedule(p model.Params, steps int, seed uint64) schedule.Schedule {
 
 // ParallelMap applies f to every element of in with at most workers
 // goroutines, preserving input order in the output. workers <= 0 selects
-// GOMAXPROCS. Because each slot is computed independently and written to its
-// own index, the result is identical for every worker count. Cancelling the
-// context stops dispatching further work; ParallelMap then waits for the
-// in-flight calls and returns ctx.Err() with a nil slice.
+// GOMAXPROCS. Because each slot is computed independently and written to
+// its own index, the result is identical for every worker count — the same
+// invariance the public ulba.Sweep engine guarantees for streamed batch
+// evaluations. Cancelling the context stops dispatching further work, waits
+// for the in-flight calls, and returns ctx.Err() with a nil slice.
 func ParallelMap[T, R any](ctx context.Context, workers int, in []T, f func(T) R) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -257,6 +266,12 @@ func ParallelMap[T, R any](ctx context.Context, workers int, in []T, f func(T) R
 	var err error
 dispatch:
 	for i := range in {
+		// Check Err before the send: a select with both cases ready picks
+		// randomly, so without this a cancelled (even pre-cancelled)
+		// context could keep dispatching work.
+		if err = ctx.Err(); err != nil {
+			break dispatch
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():
@@ -272,8 +287,9 @@ dispatch:
 	return out, nil
 }
 
-// parallelMap is the uncancellable variant used by the fixed-size
-// experiment drivers.
+// parallelMap is the uncancellable variant used by the fixed-size Fig. 2-3
+// experiment drivers; interactive callers go through ulba.Sweep, which
+// adds streaming and cancellation on the same worker-pool pattern.
 func parallelMap[T, R any](workers int, in []T, f func(T) R) []R {
 	out, _ := ParallelMap(context.Background(), workers, in, f)
 	return out

@@ -1,9 +1,12 @@
 package simulate
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ulba/internal/instance"
 	"ulba/internal/schedule"
@@ -181,6 +184,55 @@ func TestParallelMapOrderAndWorkers(t *testing.T) {
 	}
 	if got := parallelMap(4, []int{}, func(x int) int { return x }); len(got) != 0 {
 		t.Error("empty input should give empty output")
+	}
+}
+
+// A context cancelled before ParallelMap starts yields no work at all, on
+// both the sequential and the pooled path.
+func TestParallelMapCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := []int{1, 2, 3, 4}
+	for _, workers := range []int{1, 3} {
+		var calls atomic.Int64
+		out, err := ParallelMap(ctx, workers, in, func(x int) int { calls.Add(1); return x })
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: cancelled map returned a slice: %v", workers, out)
+		}
+		if n := calls.Load(); n != 0 {
+			t.Errorf("workers=%d: %d calls ran under a pre-cancelled context", workers, n)
+		}
+	}
+}
+
+// Cancelling mid-dispatch stops further work, waits for the in-flight
+// calls, and returns ctx.Err() with a nil slice.
+func TestParallelMapCancelledMidDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make([]int, 1000)
+	var started atomic.Int64
+	out, err := ParallelMap(ctx, 2, in, func(x int) int {
+		if started.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return x
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled map returned a non-nil slice")
+	}
+	// The dispatch loop stops at the cancellation point: with 2 workers at
+	// most a handful of calls can already be in flight or queued, nowhere
+	// near the full input. By the time ParallelMap returned it had waited
+	// for all of them (started is stable).
+	if n := started.Load(); n >= int64(len(in)) {
+		t.Errorf("%d of %d calls ran despite mid-dispatch cancellation", n, len(in))
 	}
 }
 

@@ -23,8 +23,11 @@ type FiveNum = stats.FiveNum
 // application instances concurrently over a bounded worker pool, streaming
 // per-instance Comparison results and aggregating them deterministically.
 // It is the engine behind the paper's Fig. 3 ("1000 instances per bucket")
-// promoted to the public surface. Build it with NewSweep; a constructed
-// Sweep is immutable and safe for concurrent use.
+// promoted to the public surface. With the default sigma+ policy each
+// instance runs on the allocation-free incremental evaluator (see
+// DESIGN.md, "Evaluation core"); custom planners take the general
+// Planner.Plan path. Build it with NewSweep; a constructed Sweep is
+// immutable and safe for concurrent use.
 type Sweep struct {
 	workers int
 	grid    []float64 // alpha grid, built once and shared read-only
@@ -65,12 +68,28 @@ type SweepSummary struct {
 	ULBAWins      int // instances where ULBA strictly beat the standard method
 }
 
-// compare evaluates one instance. With the default (sigma+) planner this is
-// exactly the paper's comparison; with a custom planner the ULBA side is
-// evaluated on that planner's schedule at each grid alpha.
-func (s *Sweep) compare(p ModelParams) (Comparison, error) {
-	if s.planner == nil {
-		return simulate.Compare(p, s.grid), nil
+// compare evaluates one instance. The default (sigma+) planner — installed
+// as nil, or explicitly as SigmaPlusPlanner — dispatches to the fast path:
+// the allocation-free incremental evaluator of internal/schedule, which
+// scans the alpha grid without materializing a Schedule per grid point and
+// prunes alphas whose partial total already exceeds the best seen. Custom
+// planners fall back to the general path, planning and evaluating a
+// schedule at each grid alpha. Both paths are bit-identical for the sigma+
+// policy; a golden test pins it.
+func (s *Sweep) compare(ev *schedule.Evaluator, p ModelParams) (Comparison, error) {
+	switch s.planner.(type) {
+	case nil:
+		return simulate.CompareWith(ev, p, s.grid), nil
+	case SigmaPlusPlanner:
+		// Keep the general path's eager validation: an explicit planner
+		// rejects invalid instances instead of evaluating them. The
+		// general path validates the instance at each grid alpha — never
+		// the raw Alpha field, which the grid overrides — so validate at
+		// the first grid alpha to match it exactly.
+		if err := p.WithAlpha(s.grid[0]).Validate(); err != nil {
+			return Comparison{}, fmt.Errorf("ulba: planner %q on instance %v: %w", s.planner.Name(), p, err)
+		}
+		return simulate.CompareWith(ev, p, s.grid), nil
 	}
 	std := simulate.StandardTime(p)
 	best, bestAlpha := -1.0, 0.0
@@ -97,9 +116,25 @@ func (s *Sweep) compare(p ModelParams) (Comparison, error) {
 // Stream evaluates the instances over the worker pool and sends one
 // SweepResult per instance as soon as it completes (not in input order).
 // The channel is closed when every instance has been delivered or the
-// context is cancelled, whichever comes first.
+// context is cancelled, whichever comes first; after a cancellation,
+// delivery of the instances already in flight is best-effort, so a
+// consumer may cancel and walk away without leaking the workers. Run wraps
+// Stream with a guaranteed-delivery contract instead (it always drains),
+// which is what makes its lowest-index error reporting deterministic.
 func (s *Sweep) Stream(ctx context.Context, params []ModelParams) <-chan SweepResult {
-	out := make(chan SweepResult)
+	return s.stream(ctx, params, false)
+}
+
+// stream is Stream with an explicit delivery mode. guaranteed delivery
+// (used by Run) sends every dispatched instance's result with a blocking
+// send — safe only for consumers that drain the channel until it closes,
+// and the property Run's deterministic error reporting rests on: instances
+// are dispatched in input order, so the dispatched set is a prefix of the
+// input, and with delivery guaranteed the lowest erroring index always
+// reaches the collector. Best-effort mode keeps the select against
+// ctx.Done, trading that determinism for tolerance of consumers that stop
+// receiving after cancellation.
+func (s *Sweep) stream(ctx context.Context, params []ModelParams, guaranteed bool) <-chan SweepResult {
 	workers := s.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -110,16 +145,33 @@ func (s *Sweep) Stream(ctx context.Context, params []ModelParams) <-chan SweepRe
 	if workers < 1 {
 		workers = 1
 	}
+	// A workers-sized buffer decouples completion from consumption without
+	// growing with the batch: memory stays O(workers) however many
+	// instances stream through.
+	out := make(chan SweepResult, workers)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One evaluator per worker. The fast-path methods are
+			// stateless today, but evaluator state (the SigmaPlus
+			// scratch buffer, any future memoization) must stay
+			// per-goroutine, so the plumbing is per-worker.
+			var ev schedule.Evaluator
 			for i := range idx {
-				c, err := s.compare(params[i])
+				c, err := s.compare(&ev, params[i])
+				r := SweepResult{Index: i, Comparison: c, Err: err}
+				if guaranteed {
+					// The consumer drains until close, so this always
+					// lands; a select against ctx.Done here could drop
+					// the result when both cases are ready at once.
+					out <- r
+					continue
+				}
 				select {
-				case out <- SweepResult{Index: i, Comparison: c, Err: err}:
+				case out <- r:
 				case <-ctx.Done():
 					return
 				}
@@ -130,6 +182,13 @@ func (s *Sweep) Stream(ctx context.Context, params []ModelParams) <-chan SweepRe
 		defer close(out)
 	dispatch:
 		for i := range params {
+			// The Err pre-check makes cancellation deterministic: once
+			// the context reports done, no further instance is
+			// dispatched, even if the select below could still win the
+			// race against a closed Done channel.
+			if ctx.Err() != nil {
+				break dispatch
+			}
 			select {
 			case idx <- i:
 			case <-ctx.Done():
@@ -152,11 +211,22 @@ func (s *Sweep) Run(ctx context.Context, params []ModelParams) (SweepSummary, []
 	// sweep to completion.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	comps := make([]Comparison, len(params))
+	return collectSweep(ctx, cancel, s.stream(runCtx, params, true), len(params))
+}
+
+// collectSweep drains a result stream of n expected instances into
+// input-ordered comparisons and their summary. cancel stops the producing
+// stream on the first per-instance error; when several instances error, the
+// one with the lowest input index wins, so the reported error does not
+// depend on completion order. A stream that closes short of n results
+// without an error reports either the caller's context error or the
+// delivered/expected mismatch.
+func collectSweep(ctx context.Context, cancel context.CancelFunc, results <-chan SweepResult, n int) (SweepSummary, []Comparison, error) {
+	comps := make([]Comparison, n)
 	got := 0
 	var firstErr error
 	firstErrIdx := -1
-	for r := range s.Stream(runCtx, params) {
+	for r := range results {
 		if r.Err != nil {
 			if firstErrIdx < 0 || r.Index < firstErrIdx {
 				firstErr, firstErrIdx = r.Err, r.Index
@@ -170,11 +240,11 @@ func (s *Sweep) Run(ctx context.Context, params []ModelParams) (SweepSummary, []
 	if firstErr != nil {
 		return SweepSummary{}, nil, firstErr
 	}
-	if got < len(params) {
+	if got < n {
 		if err := ctx.Err(); err != nil {
 			return SweepSummary{}, nil, err
 		}
-		return SweepSummary{}, nil, fmt.Errorf("ulba: sweep delivered %d of %d instances", got, len(params))
+		return SweepSummary{}, nil, fmt.Errorf("ulba: sweep delivered %d of %d instances", got, n)
 	}
 	return summarizeSweep(comps), comps, nil
 }

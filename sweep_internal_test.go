@@ -1,0 +1,55 @@
+package ulba
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// collectSweep's delivered-short branch: a stream that closes before
+// delivering every instance, with no error and a live context, is an
+// invariant violation the caller must hear about.
+func TestCollectSweepDeliveredShort(t *testing.T) {
+	results := make(chan SweepResult, 1)
+	results <- SweepResult{Index: 0}
+	close(results)
+	_, _, err := collectSweep(context.Background(), func() {}, results, 3)
+	if err == nil || !strings.Contains(err.Error(), "delivered 1 of 3") {
+		t.Errorf("short stream returned %v, want delivered 1 of 3", err)
+	}
+}
+
+// A short stream under a cancelled caller context reports the context
+// error, not the delivery mismatch.
+func TestCollectSweepShortPrefersContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := make(chan SweepResult)
+	close(results)
+	_, _, err := collectSweep(ctx, func() {}, results, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled short stream returned %v, want context.Canceled", err)
+	}
+}
+
+// When several instances error, the lowest input index wins regardless of
+// completion order, and the producer is cancelled on the first error seen.
+func TestCollectSweepLowestIndexErrorWins(t *testing.T) {
+	errHigh := errors.New("high index failed")
+	errLow := errors.New("low index failed")
+	results := make(chan SweepResult, 3)
+	results <- SweepResult{Index: 5, Err: errHigh}
+	results <- SweepResult{Index: 1, Err: errLow}
+	results <- SweepResult{Index: 0}
+	close(results)
+
+	cancelled := 0
+	_, _, err := collectSweep(context.Background(), func() { cancelled++ }, results, 6)
+	if !errors.Is(err, errLow) {
+		t.Errorf("got %v, want the lowest-index error %v", err, errLow)
+	}
+	if cancelled != 2 {
+		t.Errorf("cancel called %d times, want once per errored result (2)", cancelled)
+	}
+}

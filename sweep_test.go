@@ -2,7 +2,9 @@ package ulba_test
 
 import (
 	"context"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -123,6 +125,71 @@ func TestSweepCancelledMidway(t *testing.T) {
 	_, _, err = s.Run(ctx, params)
 	if err != context.Canceled {
 		t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+// failingPlanner errors on every instance; the sweep must surface the
+// error for the lowest input index and abort the remaining dispatch.
+type failingPlanner struct{}
+
+func (failingPlanner) Name() string { return "failing" }
+
+func (failingPlanner) Plan(p ulba.ModelParams, gamma int) (ulba.Schedule, error) {
+	return nil, errors.New("synthetic plan failure")
+}
+
+func TestSweepPlannerErrorAbortsRun(t *testing.T) {
+	params := ulba.SampleInstances(13, 40)
+	s, err := ulba.NewSweep(ulba.WithWorkers(4), ulba.WithAlphaGrid(5), ulba.WithPlanner(failingPlanner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, comps, err := s.Run(context.Background(), params)
+	if err == nil {
+		t.Fatal("sweep with a failing planner returned no error")
+	}
+	if !strings.Contains(err.Error(), `planner "failing"`) || !strings.Contains(err.Error(), "synthetic plan failure") {
+		t.Errorf("error %q does not identify the planner and cause", err)
+	}
+	// Deterministic reporting: with every instance failing, the surfaced
+	// error belongs to input index 0 regardless of worker scheduling.
+	if !strings.Contains(err.Error(), params[0].String()) {
+		t.Errorf("error %q is not the lowest-index instance's", err)
+	}
+	if sum.Instances != 0 || comps != nil {
+		t.Errorf("failed sweep leaked results: %+v, %d comps", sum, len(comps))
+	}
+}
+
+// Cancelling the consumer's context mid-stream stops dispatch: the stream
+// delivers the instances already in flight, then closes without touching
+// the rest. The planner is expensive so that dispatch is still in progress
+// when the cancellation lands.
+func TestSweepStreamCancelledMidConsumption(t *testing.T) {
+	params := ulba.SampleInstances(17, 100)
+	s, err := ulba.NewSweep(
+		ulba.WithWorkers(2),
+		ulba.WithAlphaGrid(5),
+		ulba.WithPlanner(ulba.AnnealPlanner{Steps: 2000, Seed: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	for r := range s.Stream(ctx, params) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		delivered++
+		cancel()
+	}
+	if delivered == 0 {
+		t.Error("stream closed without delivering the in-flight instances")
+	}
+	if delivered >= len(params) {
+		t.Errorf("stream delivered all %d instances despite cancellation", delivered)
 	}
 }
 
