@@ -119,6 +119,19 @@ const (
 	ULBA = lb.ULBA
 )
 
+// Runtime scenario engine (the Section IV runtime generalized beyond the
+// erosion application; see workload.go and runtime.go).
+
+// RuntimeConfig parameterizes one synthetic scenario run: the runtime
+// counterpart of RunConfig, driven by a pure per-item weight function
+// instead of the erosion physics. Built by NewRuntime from a Workload;
+// exposed for inspection and for ModeledWorkload implementations.
+type RuntimeConfig = lb.SynthConfig
+
+// RuntimeTimeline is the measured per-iteration outcome of one scenario
+// run: total wall time, iteration times, PE usage, and the LB call record.
+type RuntimeTimeline = lb.SynthResult
+
 // DefaultAppConfig returns a laptop-scale erosion instance for p PEs with
 // the paper's geometry ratios.
 func DefaultAppConfig(p int) AppConfig {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ulba"
+	"ulba/internal/cli"
 	"ulba/internal/schedule"
 )
 
@@ -75,6 +76,25 @@ type benchRecord struct {
 	Speedup       float64       `json:"speedup,omitempty"`
 	MeanLBSteps   float64       `json:"mean_lb_steps"`
 	Summary       summaryRecord `json:"summary"`
+
+	Runtime *runtimeRecord `json:"runtime,omitempty"`
+}
+
+// runtimeRecord is the runtime-sweep entry of the trajectory: the scenario
+// engine running a pinned mix of every registered workload over the
+// simulated cluster. The summary block is bit-deterministic like the model
+// sweep's; the throughput numbers are the clock.
+type runtimeRecord struct {
+	Scenarios        int     `json:"scenarios"`
+	Workloads        int     `json:"workloads"`
+	Seconds          float64 `json:"seconds"`
+	ScenariosPerSec  float64 `json:"scenarios_per_sec"`
+	AllocsPerInst    float64 `json:"allocs_per_scenario"`
+	MedianGain       float64 `json:"median_gain"`
+	MeanGain         float64 `json:"mean_gain"`
+	MedianEfficiency float64 `json:"median_efficiency"`
+	MeanLBCalls      float64 `json:"mean_lb_calls"`
+	MeanUsage        float64 `json:"mean_usage"`
 }
 
 func fatal(args ...any) {
@@ -88,19 +108,26 @@ func main() {
 		alphas    = flag.Int("alphas", 100, "alpha grid size (paper: 100)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep workers")
 		seed      = flag.Uint64("seed", 2019, "instance-sampling seed (pinned: changing it forks the trajectory)")
-		short     = flag.Bool("short", false, "CI-sized workload (200 instances unless -instances is given explicitly)")
+		short     = flag.Bool("short", false, "CI-sized workload (200 instances and 12 runtime scenarios unless set explicitly)")
 		noSlow    = flag.Bool("noslow", false, "skip the slow-path baseline (no speedup field)")
+		scenarios = flag.Int("runtime-scenarios", 24, "pinned runtime-sweep scenarios (0 skips the runtime entry)")
 		out       = flag.String("out", "BENCH_sweep.json", "output file; - for stdout")
 	)
 	flag.Parse()
-	instancesSet := false
+	instancesSet, scenariosSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "instances" {
+		switch f.Name {
+		case "instances":
 			instancesSet = true
+		case "runtime-scenarios":
+			scenariosSet = true
 		}
 	})
 	if *short && !instancesSet {
 		*instances = 200
+	}
+	if *short && !scenariosSet {
+		*scenarios = 12
 	}
 	if *instances <= 0 {
 		fatal(fmt.Sprintf("-instances must be positive, got %d", *instances))
@@ -182,6 +209,14 @@ func main() {
 		rec.Speedup = slowDur.Seconds() / fastDur.Seconds()
 	}
 
+	if *scenarios > 0 {
+		rt, err := measureRuntimeSweep(ctx, *scenarios, *seed, *workers)
+		if err != nil {
+			fatal("runtime sweep:", err)
+		}
+		rec.Runtime = rt
+	}
+
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -201,4 +236,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, ", %.1fx over slow path", rec.Speedup)
 	}
 	fmt.Fprintln(os.Stderr)
+	if rec.Runtime != nil {
+		fmt.Fprintf(os.Stderr, "runtime: %d scenarios x %d workloads: %.1f scenarios/sec, %.0f allocs/scenario, mean gain %+.2f%%\n",
+			rec.Runtime.Scenarios, rec.Runtime.Workloads, rec.Runtime.ScenariosPerSec,
+			rec.Runtime.AllocsPerInst, rec.Runtime.MeanGain*100)
+	}
+}
+
+// measureRuntimeSweep runs the pinned runtime-scenario mix through the
+// RuntimeSweep engine and records its throughput and deterministic summary.
+// The scenario set is a pure function of the seed and the registered
+// workload names, so the summary block is part of the bit-deterministic
+// trajectory.
+func measureRuntimeSweep(ctx context.Context, n int, seed uint64, workers int) (*runtimeRecord, error) {
+	exps, scens, err := cli.BuildScenarios(seed, n)
+	if err != nil {
+		return nil, err
+	}
+	distinct := make(map[string]bool, len(scens))
+	for _, sc := range scens {
+		distinct[sc.Workload] = true
+	}
+	sweep, err := ulba.NewRuntimeSweep(ulba.WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	// Warm up on a prefix, then measure wall time and heap allocations.
+	if _, _, err := sweep.Run(ctx, exps[:min(len(exps), 4)]); err != nil {
+		return nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sum, _, err := sweep.Run(ctx, exps)
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, err
+	}
+	return &runtimeRecord{
+		Scenarios:        n,
+		Workloads:        len(distinct),
+		Seconds:          dur.Seconds(),
+		ScenariosPerSec:  float64(n) / dur.Seconds(),
+		AllocsPerInst:    float64(after.Mallocs-before.Mallocs) / float64(n),
+		MedianGain:       sum.Gains.Median,
+		MeanGain:         sum.Gains.Mean,
+		MedianEfficiency: sum.Efficiencies.Median,
+		MeanLBCalls:      sum.MeanLBCalls,
+		MeanUsage:        sum.MeanUsage,
+	}, nil
 }

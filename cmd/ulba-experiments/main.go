@@ -6,9 +6,11 @@
 // The LB policies are selected by registry name: -planner picks the
 // schedule planner the Fig. 3 sweep evaluates ULBA on (see
 // ulba.PlannerNames), -trigger picks the runtime trigger the Fig. 4
-// erosion runs use (see ulba.TriggerNames). With -json, per-instance and
-// per-cell results are printed as one JSON object per line on stdout so
-// BENCH_*.json trajectories can be collected across runs.
+// erosion runs and the -runtime scenarios use (see ulba.TriggerNames),
+// and -workload picks the scenario(s) of the -runtime section (see
+// ulba.WorkloadNames). With -json, per-instance and per-cell results are
+// printed as one JSON object per line on stdout so BENCH_*.json
+// trajectories can be collected across runs.
 //
 // Examples:
 //
@@ -17,6 +19,8 @@
 //	ulba-experiments -fig2 -instances 1000
 //	ulba-experiments -fig3 -planner anneal -instances 50 -json
 //	ulba-experiments -fig4a -trigger periodic -period 15
+//	ulba-experiments -runtime -workload all
+//	ulba-experiments -runtime -workload bursty,outlier -trigger menon
 package main
 
 import (
@@ -46,6 +50,10 @@ func main() {
 		fig4a       = flag.Bool("fig4a", false, "run Fig. 4a (erosion performance grid)")
 		fig4b       = flag.Bool("fig4b", false, "run Fig. 4b (usage traces)")
 		fig5        = flag.Bool("fig5", false, "run Fig. 5 (alpha sweep)")
+		runtimeSec  = flag.Bool("runtime", false, "run the runtime scenario section (trigger vs workloads beyond erosion)")
+		workload    = flag.String("workload", "all", fmt.Sprintf("workload(s) for -runtime: comma-separated names or \"all\", from %v", ulba.WorkloadNames()))
+		runtimePEs  = flag.Int("runtime-pes", 8, "PE count for the runtime scenario section")
+		runtimeIter = flag.Int("runtime-iters", 150, "iterations for the runtime scenario section")
 		scaleName   = flag.String("scale", "default", "erosion experiment scale: bench | default | paper")
 		instances   = flag.Int("instances", 200, "instances for Fig. 2 / per bucket for Fig. 3 (paper: 1000)")
 		alphaGrid   = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
@@ -65,8 +73,9 @@ func main() {
 
 	if *all {
 		*table1, *table2, *fig2, *fig3, *fig4a, *fig4b, *fig5 = true, true, true, true, true, true, true
+		*runtimeSec = true
 	}
-	if !(*table1 || *table2 || *fig2 || *fig3 || *fig4a || *fig4b || *fig5) {
+	if !(*table1 || *table2 || *fig2 || *fig3 || *fig4a || *fig4b || *fig5 || *runtimeSec) {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -all or individual experiment flags")
 		flag.Usage()
 		os.Exit(2)
@@ -92,8 +101,10 @@ func main() {
 		}
 		trig = cli.ConfigureTrigger(trig, *period)
 		scale.TriggerFactory = trig.New
-		if *trigName == "never" {
-			scale.WarmupLB = -1 // static baseline: no forced warmup call either
+		if cli.WarmupDisabled(trig) {
+			// No forced warmup call: the static baseline stays LB-free
+			// and a replay plan must not be distorted.
+			scale.WarmupLB = -1
 		}
 	}
 	planner, err := ulba.NewPlanner(*plannerName)
@@ -198,6 +209,59 @@ func main() {
 				})
 			}
 			fmt.Fprint(out, experiments.RenderFig4b(res, 100))
+		})
+	}
+	if *runtimeSec {
+		names := ulba.WorkloadNames()
+		if *workload != "all" {
+			names = strings.Split(*workload, ",")
+		}
+		section(fmt.Sprintf("Runtime scenarios: trigger %s over %d workloads (%d PEs, %d iters)",
+			*trigName, len(names), *runtimePEs, *runtimeIter), func() {
+			tab := experiments.RuntimeScenarioTable()
+			for _, name := range names {
+				name = strings.TrimSpace(name)
+				w, err := ulba.NewWorkload(name)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				w, err = cli.ConfigureWorkload(w, *seed, "")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				trig, err := ulba.NewTrigger(*trigName)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				exp, err := ulba.NewRuntime(*runtimePEs,
+					ulba.WithWorkload(w),
+					ulba.WithIterations(*runtimeIter),
+					ulba.WithTrigger(cli.ConfigureTrigger(trig, *period)))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				res, err := exp.Run(ctx)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if *jsonOut {
+					emit(map[string]any{
+						"experiment": "runtime", "workload": name, "trigger": *trigName,
+						"pes": *runtimePEs, "iters": *runtimeIter,
+						"total_time": res.Timeline.TotalTime, "no_lb_time": res.NoLBTime,
+						"perfect_time": res.PerfectTime, "gain": res.Gain(),
+						"efficiency": res.Efficiency(), "lb_calls": res.Timeline.LBCount(),
+					})
+				}
+				experiments.AddRuntimeScenarioRow(tab, name, res.Timeline,
+					res.NoLBTime, res.PerfectTime, res.Gain(), res.Efficiency())
+			}
+			tab.Render(out)
 		})
 	}
 	if *fig5 {

@@ -1,0 +1,208 @@
+// Command ulba-runtime drives the runtime scenario engine: a registered
+// workload (see -list-workloads) runs on simulated PEs under a runtime
+// trigger or a planner-precomputed schedule, and the measured timeline is
+// reported against the no-LB baseline and the perfect-knowledge lower
+// bound.
+//
+// With -json, per-iteration records are printed as one JSON object per
+// line on stdout (machine-readable; the summary goes to stderr). With
+// -sweep N, N random scenarios are sampled and run through the
+// RuntimeSweep engine instead, reporting the aggregate.
+//
+// Examples:
+//
+//	ulba-runtime -workload linear -pes 8 -iters 200
+//	ulba-runtime -workload bursty -trigger menon
+//	ulba-runtime -workload linear -planner sigma+        # plan on the model, replay at runtime
+//	ulba-runtime -workload trace -trace-file run.csv
+//	ulba-runtime -sweep 32 -workers 4
+//	ulba-runtime -list-workloads
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"ulba"
+	"ulba/internal/cli"
+	"ulba/internal/trace"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	os.Exit(1)
+}
+
+// usageErr reports a configuration problem (unknown registry name, bad
+// flag combination) with exit code 2, matching the other CLIs.
+func usageErr(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "linear", fmt.Sprintf("scenario workload, one of %v", ulba.WorkloadNames()))
+		list         = flag.Bool("list-workloads", false, "print the registered workloads and exit")
+		pes          = flag.Int("pes", 8, "number of simulated PEs")
+		iters        = flag.Int("iters", 200, "iterations per scenario")
+		trigName     = flag.String("trigger", "degradation", fmt.Sprintf("runtime trigger, one of %v", ulba.TriggerNames()))
+		plannerName  = flag.String("planner", "", fmt.Sprintf("plan the LB schedule on the analytic model instead of reacting (one of %v); needs a modeled workload", ulba.PlannerNames()))
+		period       = flag.Int("period", 10, "interval for -trigger/-planner periodic")
+		annealSteps  = flag.Int("annealsteps", 20000, "proposals for -planner anneal")
+		seed         = flag.Uint64("seed", 2019, "workload seed (and scenario-sampling seed for -sweep)")
+		traceFile    = flag.String("trace-file", "", "CSV weight matrix for -workload trace (default: the built-in demo trace)")
+		sweepN       = flag.Int("sweep", 0, "run N sampled scenarios through the RuntimeSweep engine instead of one")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario workers for -sweep")
+		width        = flag.Int("width", 100, "usage plot width in characters")
+		jsonOut      = flag.Bool("json", false, "print one JSON object per iteration (or per sweep scenario) on stdout")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	if *list {
+		for _, n := range ulba.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *sweepN > 0 {
+		// Sweep mode samples its own workload mix under the default
+		// trigger; reject per-scenario policy flags instead of silently
+		// ignoring them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workload", "trigger", "planner", "iters", "pes", "trace-file":
+				usageErr(fmt.Sprintf("-%s does not apply to -sweep: sweep scenarios are sampled over every registered workload under the default trigger", f.Name))
+			}
+		})
+		runSweep(ctx, *sweepN, *seed, *workers, *jsonOut)
+		return
+	}
+
+	w, err := ulba.NewWorkload(*workloadName)
+	if err != nil {
+		usageErr(err)
+	}
+	w, err = cli.ConfigureWorkload(w, *seed, *traceFile)
+	if err != nil {
+		usageErr(err)
+	}
+	opts := []ulba.Option{ulba.WithWorkload(w), ulba.WithIterations(*iters)}
+	if *plannerName != "" {
+		planner, err := ulba.NewPlanner(*plannerName)
+		if err != nil {
+			usageErr(err)
+		}
+		opts = append(opts, ulba.WithPlanner(cli.ConfigurePlanner(planner, *period, *annealSteps, *seed)))
+	} else {
+		trig, err := ulba.NewTrigger(*trigName)
+		if err != nil {
+			usageErr(err)
+		}
+		opts = append(opts, ulba.WithTrigger(cli.ConfigureTrigger(trig, *period)))
+	}
+	exp, err := ulba.NewRuntime(*pes, opts...)
+	if err != nil {
+		usageErr(err)
+	}
+
+	start := time.Now()
+	res, err := exp.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	tl := res.Timeline
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		lb := make(map[int]bool, len(tl.LBIters))
+		for _, it := range tl.LBIters {
+			lb[it] = true
+		}
+		for i, t := range tl.IterTimes {
+			rec := map[string]any{"iter": i, "time": t, "usage": tl.Usage[i], "lb": lb[i]}
+			if err := enc.Encode(rec); err != nil {
+				fatal("json:", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "runtime: %s x %d PEs x %d iters: total %.4fs, no-LB %.4fs, perfect %.4fs, gain %+.2f%%, %d LB calls (%.2fs real)\n",
+			*workloadName, *pes, *iters, tl.TotalTime, res.NoLBTime, res.PerfectTime,
+			res.Gain()*100, tl.LBCount(), elapsed.Seconds())
+		return
+	}
+
+	policy := "trigger " + *trigName
+	if *plannerName != "" {
+		policy = fmt.Sprintf("planner %s (%d planned steps)", *plannerName, len(exp.PlannedSchedule()))
+	}
+	fmt.Printf("Runtime scenario: workload %s, %d PEs, %d iterations, %s (%.2fs real)\n\n",
+		*workloadName, *pes, *iters, policy, elapsed.Seconds())
+	tab := trace.NewTable("quantity", "value")
+	tab.AddRow("total time [s]", tl.TotalTime)
+	tab.AddRow("no-LB baseline [s]", res.NoLBTime)
+	tab.AddRow("perfect-knowledge bound [s]", res.PerfectTime)
+	tab.AddRow("gain over no-LB", fmt.Sprintf("%+.2f%%", res.Gain()*100))
+	tab.AddRow("efficiency (perfect/total)", fmt.Sprintf("%.1f%%", res.Efficiency()*100))
+	tab.AddRow("LB calls", tl.LBCount())
+	tab.AddRow("avg LB cost [s]", tl.AvgLBCost)
+	tab.AddRow("mean PE usage", fmt.Sprintf("%.1f%%", tl.MeanUsage()*100))
+	tab.Render(os.Stdout)
+	fmt.Println()
+	fmt.Print(trace.UsagePlot(fmt.Sprintf("%s / %s", *workloadName, policy), tl.Usage, tl.LBIters, *width))
+}
+
+// runSweep samples n scenarios over the registered workloads and runs them
+// through the RuntimeSweep engine.
+func runSweep(ctx context.Context, n int, seed uint64, workers int, jsonOut bool) {
+	names := ulba.WorkloadNames()
+	exps, scens, err := cli.BuildScenarios(seed, n)
+	if err != nil {
+		fatal(err)
+	}
+	sweep, err := ulba.NewRuntimeSweep(ulba.WithWorkers(workers))
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	sum, results, err := sweep.Run(ctx, exps)
+	if err != nil {
+		fatal("sweep:", err)
+	}
+	elapsed := time.Since(start)
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for i, r := range results {
+			rec := map[string]any{
+				"scenario": i, "workload": scens[i].Workload, "pes": scens[i].P,
+				"iters": scens[i].Iterations, "total_time": r.Timeline.TotalTime,
+				"no_lb_time": r.NoLBTime, "perfect_time": r.PerfectTime,
+				"gain": r.Gain(), "efficiency": r.Efficiency(), "lb_calls": r.Timeline.LBCount(),
+			}
+			if err := enc.Encode(rec); err != nil {
+				fatal("json:", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "runtime sweep: %d scenarios over %s, %.1f scenarios/sec\n",
+			n, strings.Join(names, ","), float64(n)/elapsed.Seconds())
+		return
+	}
+	fmt.Printf("Runtime sweep: %d scenarios over %d workloads, %d workers (%.2fs, %.1f scenarios/sec)\n\n",
+		n, len(names), workers, elapsed.Seconds(), float64(n)/elapsed.Seconds())
+	tab := trace.NewTable("quantity", "value")
+	tab.AddRow("scenarios", sum.Scenarios)
+	tab.AddRow("median gain over no-LB", fmt.Sprintf("%+.2f%%", sum.Gains.Median*100))
+	tab.AddRow("mean gain over no-LB", fmt.Sprintf("%+.2f%%", sum.Gains.Mean*100))
+	tab.AddRow("median efficiency", fmt.Sprintf("%.1f%%", sum.Efficiencies.Median*100))
+	tab.AddRow("mean LB calls", sum.MeanLBCalls)
+	tab.AddRow("mean PE usage", fmt.Sprintf("%.1f%%", sum.MeanUsage*100))
+	tab.Render(os.Stdout)
+}

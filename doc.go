@@ -23,12 +23,21 @@
 //     al., the default), MenonTrigger, PeriodicTrigger, NeverTrigger, and
 //     ScheduleTrigger, which replays a planned schedule on the simulated
 //     cluster. RegisterTrigger / NewTrigger mirror the planner registry.
+//   - Workload — what the runtime scenario engine executes: a registry of
+//     synthetic load dynamics (stationary, linear and exponential drift,
+//     bursty, heavy-tailed outlier WIR, recorded-trace replay) whose pure
+//     weight functions make every policy comparison noise-free.
+//     RegisterWorkload / NewWorkload complete the registry trio.
 //
 // Single runs are built with the Experiment builder and executed with
 // context cancellation; batch evaluations over many model instances go
 // through the concurrent Sweep engine, which streams per-instance
 // Comparison results and aggregates them bit-identically for every worker
-// count.
+// count. On the runtime side, NewRuntime builds one scenario (any
+// Workload x any Trigger or Planner, executed over the simulated cluster
+// and measured against the no-LB baseline and the perfect-knowledge lower
+// bound) and NewRuntimeSweep batches scenarios over the same worker pool
+// with the same bit-identical aggregation contract.
 //
 // # Evaluation core
 //

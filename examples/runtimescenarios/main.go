@@ -1,0 +1,83 @@
+// Runtime scenarios: run every registered workload through the runtime
+// scenario engine under the paper's adaptive degradation trigger, and — for
+// workloads that can describe themselves in the analytic model — under a
+// sigma+-planned schedule, reporting each policy against the no-LB baseline
+// and the perfect-knowledge lower bound.
+//
+// This is the scenario-diversity axis in one screen: the same harness
+// (trigger, simulated cluster, centralized re-partitioning) exercised on
+// stationary, drifting, bursty, heavy-tailed, and recorded-trace loads.
+//
+//	go run ./examples/runtimescenarios
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ulba"
+)
+
+func main() {
+	const (
+		pes   = 8
+		iters = 150
+	)
+	ctx := context.Background()
+
+	fmt.Printf("runtime scenario engine, %d PEs, %d iterations\n\n", pes, iters)
+	fmt.Printf("%-12s %-10s %10s %10s %10s %8s %9s\n",
+		"workload", "policy", "total [s]", "no-LB [s]", "perfect", "gain %", "LB calls")
+
+	for _, name := range ulba.WorkloadNames() {
+		w, err := ulba.NewWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Reactive: the degradation trigger watches measured iteration
+		// times and fires when the accumulated slowdown exceeds the
+		// average LB cost.
+		exp, err := ulba.NewRuntime(pes,
+			ulba.WithWorkload(w),
+			ulba.WithIterations(iters),
+			ulba.WithWorkers(2), // scenario and its no-LB baseline run concurrently
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exp.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(name, "trigger", res)
+
+		// Anticipating: if the workload can express itself as Table I
+		// model parameters, plan the whole schedule ahead of time on the
+		// model (the paper's sigma+ rule) and replay it at runtime.
+		if _, ok := w.(ulba.ModeledWorkload); !ok {
+			continue
+		}
+		planned, err := ulba.NewRuntime(pes,
+			ulba.WithWorkload(w),
+			ulba.WithIterations(iters),
+			ulba.WithPlanner(ulba.SigmaPlusPlanner{}),
+			ulba.WithWorkers(2),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pres, err := planned.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(name, "sigma+", pres)
+	}
+}
+
+func printRow(workload, policy string, r ulba.RuntimeResult) {
+	fmt.Printf("%-12s %-10s %10.4f %10.4f %10.4f %+8.2f %9d\n",
+		workload, policy, r.Timeline.TotalTime, r.NoLBTime, r.PerfectTime,
+		100*r.Gain(), r.Timeline.LBCount())
+}

@@ -79,7 +79,7 @@ func New(p int, opts ...Option) (*Experiment, error) {
 			return nil, fmt.Errorf("ulba: periodic trigger needs Every > 0, got %d", pt.Every)
 		}
 		s.cfg.TriggerFactory = s.trigger.New
-		if _, ok := s.trigger.(NeverTrigger); ok {
+		if dropsWarmup(s.trigger) {
 			s.cfg.WarmupLB = -1
 		}
 	}
@@ -100,8 +100,14 @@ func (e *Experiment) Config() RunConfig { return e.cfg }
 func (e *Experiment) Trigger() Trigger { return e.trigger }
 
 // PlannedSchedule returns the LB schedule precomputed by WithPlanner, or
-// nil for reactive (trigger-driven) experiments.
-func (e *Experiment) PlannedSchedule() Schedule { return e.planned }
+// nil for reactive (trigger-driven) experiments. The slice is a copy:
+// mutating it cannot change the plan the run replays.
+func (e *Experiment) PlannedSchedule() Schedule {
+	if e.planned == nil {
+		return nil
+	}
+	return append(Schedule(nil), e.planned...)
+}
 
 // PlannedTotalTime returns the analytic model's predicted total parallel
 // time (Eq. 4) for the schedule the planner precomputed, evaluated under

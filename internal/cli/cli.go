@@ -6,6 +6,7 @@ package cli
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"ulba"
 	"ulba/internal/instance"
@@ -84,4 +85,81 @@ func RunFig3Sweep(ctx context.Context, planner ulba.Planner, instancesPerBucket,
 		})
 	}
 	return buckets, nil
+}
+
+// ConfigureWorkload applies the flag-level knobs to a registry-built
+// workload: the seed for the generator workloads, and a replacement
+// recording for the trace workload when traceFile is non-empty. Workloads
+// without a seed knob pass through unchanged.
+func ConfigureWorkload(w ulba.Workload, seed uint64, traceFile string) (ulba.Workload, error) {
+	switch wl := w.(type) {
+	case ulba.StationaryWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.LinearWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.ExponentialWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.BurstyWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.OutlierWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.TraceWorkload:
+		if traceFile == "" {
+			return wl, nil
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ulba.LoadTraceWorkload(f)
+	default:
+		return w, nil
+	}
+}
+
+// WarmupDisabled mirrors the experiment builders' warmup rule for CLI
+// paths that drive raw run configurations: the static baseline must stay
+// free of LB calls, and a schedule replay already encodes its (possibly
+// absent) first step, so neither gets the forced warmup call.
+func WarmupDisabled(t ulba.Trigger) bool {
+	switch t.(type) {
+	case ulba.NeverTrigger, ulba.ScheduleTrigger:
+		return true
+	default:
+		return false
+	}
+}
+
+// BuildScenarios samples n runtime scenarios (cycling every registered
+// workload) from the seed and turns them into ready-to-run
+// RuntimeExperiments under the default degradation trigger. It is the
+// bridge the runtime sweep drivers (the benchmark harness, the ulba-runtime
+// sweep mode, the golden worker-invariance test) share: the whole pinned
+// sampling sequence lives here, so every driver runs the exact same
+// scenario set for a given seed.
+func BuildScenarios(seed uint64, n int) ([]*ulba.RuntimeExperiment, []instance.SynthScenario, error) {
+	scens := instance.NewGenerator(seed).SampleSynthScenarios(ulba.WorkloadNames(), n)
+	exps := make([]*ulba.RuntimeExperiment, len(scens))
+	for i, sc := range scens {
+		w, err := ulba.NewWorkload(sc.Workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, err = ConfigureWorkload(w, sc.Seed, "")
+		if err != nil {
+			return nil, nil, err
+		}
+		exps[i], err = ulba.NewRuntime(sc.P, ulba.WithWorkload(w),
+			ulba.WithIterations(sc.Iterations), ulba.WithWorkers(1))
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario %d (%s): %w", i, sc.Workload, err)
+		}
+	}
+	return exps, scens, nil
 }

@@ -322,3 +322,27 @@ func RenderTable2() string {
 	}
 	return tb.String()
 }
+
+// RuntimeScenarioTable returns the header of the runtime scenario section:
+// one row per workload, the measured total against the no-LB baseline and
+// the perfect-knowledge bound.
+func RuntimeScenarioTable() *trace.Table {
+	return trace.NewTable("workload", "total [s]", "no-LB [s]", "perfect [s]", "gain %", "eff %", "LB calls", "usage")
+}
+
+// AddRuntimeScenarioRow appends one runtime scenario outcome to the table.
+// gain and efficiency come from the caller (RuntimeResult.Gain and
+// .Efficiency), so the table and any machine-readable output of the same
+// run can never disagree on their definition.
+func AddRuntimeScenarioRow(tb *trace.Table, name string, tl lb.SynthResult, noLB, perfect, gain, efficiency float64) {
+	tb.AddStringRow(
+		name,
+		fmt.Sprintf("%.4f", tl.TotalTime),
+		fmt.Sprintf("%.4f", noLB),
+		fmt.Sprintf("%.4f", perfect),
+		fmt.Sprintf("%+.2f", gain*100),
+		fmt.Sprintf("%.1f", efficiency*100),
+		fmt.Sprintf("%d", tl.LBCount()),
+		fmt.Sprintf("%.3f", tl.MeanUsage()),
+	)
+}

@@ -105,6 +105,44 @@ func (g *Generator) Split() *Generator {
 	return &Generator{rng: g.rng.Split()}
 }
 
+// SynthScenario names one randomly drawn runtime scenario for the runtime
+// sweep harness: which registered workload to run, at what scale, under
+// which per-workload seed. The workload names come from the caller (the
+// public registry lives above this package); the generator only draws the
+// combination deterministically.
+type SynthScenario struct {
+	Workload   string
+	P          int
+	Iterations int
+	Seed       uint64
+}
+
+// SynthPChoices is the set of PE counts runtime scenarios are sampled
+// over. Runtime scenarios actually execute every rank as a goroutine, so
+// the scale is laptop-sized rather than Table II's cluster-sized.
+var SynthPChoices = []int{4, 8, 16}
+
+// SampleSynthScenarios draws n runtime scenarios cycling deterministically
+// through the given workload names: scenario i runs names[i%len(names)] on
+// a sampled PE count for 60-160 iterations with a fresh workload seed.
+// Cycling (rather than sampling) the names guarantees every workload
+// appears whenever n >= len(names).
+func (g *Generator) SampleSynthScenarios(names []string, n int) []SynthScenario {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]SynthScenario, n)
+	for i := range out {
+		out[i] = SynthScenario{
+			Workload:   names[i%len(names)],
+			P:          SynthPChoices[g.rng.Intn(len(SynthPChoices))],
+			Iterations: 60 + g.rng.Intn(101),
+			Seed:       g.rng.Uint64(),
+		}
+	}
+	return out
+}
+
 // TableIIRow describes one row of Table II for the table-reproduction
 // harness.
 type TableIIRow struct {

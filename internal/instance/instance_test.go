@@ -170,3 +170,38 @@ func TestInstanceIdentityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSampleSynthScenariosCyclesWorkloads(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	scens := NewGenerator(7).SampleSynthScenarios(names, 7)
+	if len(scens) != 7 {
+		t.Fatalf("got %d scenarios", len(scens))
+	}
+	for i, sc := range scens {
+		if sc.Workload != names[i%len(names)] {
+			t.Fatalf("scenario %d runs %q, want %q", i, sc.Workload, names[i%len(names)])
+		}
+		okP := false
+		for _, p := range SynthPChoices {
+			if sc.P == p {
+				okP = true
+			}
+		}
+		if !okP {
+			t.Fatalf("scenario %d has P = %d outside %v", i, sc.P, SynthPChoices)
+		}
+		if sc.Iterations < 60 || sc.Iterations > 160 {
+			t.Fatalf("scenario %d has %d iterations", i, sc.Iterations)
+		}
+	}
+	// Same seed, same scenarios — the pinned-trajectory contract.
+	again := NewGenerator(7).SampleSynthScenarios(names, 7)
+	for i := range scens {
+		if scens[i] != again[i] {
+			t.Fatalf("sampling is not deterministic at %d: %+v vs %+v", i, scens[i], again[i])
+		}
+	}
+	if got := NewGenerator(7).SampleSynthScenarios(nil, 5); got != nil {
+		t.Fatalf("no names should sample nothing, got %v", got)
+	}
+}

@@ -1,0 +1,341 @@
+package lb
+
+import (
+	"fmt"
+	"math"
+
+	"ulba/internal/mpisim"
+	"ulba/internal/partition"
+	"ulba/internal/stats"
+)
+
+// SynthConfig parameterizes one synthetic scenario run: an iterative BSP
+// application whose load is a pure weight function over a 1D array of work
+// items, executed on the simulated cluster under a runtime trigger. It is
+// the runtime counterpart of Config for workloads that are not the erosion
+// application: the scenario engine of the public package binds a Workload
+// to this configuration.
+type SynthConfig struct {
+	P          int // number of PEs
+	Items      int // total work items spread over the PEs; >= P
+	Iterations int // gamma
+
+	// Weight returns the workload weight (in work units) of item j at
+	// iteration i. It must be a pure function of (j, i) — independent of
+	// which PE owns the item — so the application dynamics are
+	// bit-identical across partitionings and LB policies, exactly like
+	// the erosion application's counter-based randomness.
+	Weight func(item, iter int) float64
+
+	Cost mpisim.CostModel
+
+	// FlopPerUnit is the compute charged per weight unit per iteration.
+	// The default (0 value) is 1e6 FLOP, which at the default cost model
+	// makes one unit of weight cost one millisecond.
+	FlopPerUnit float64
+
+	// ItemBytes is the wire size of one migrated item's state. The
+	// default (0 value) is 4096 bytes.
+	ItemBytes int
+
+	// MigrateFlopPerItem is the compute charged per migrated item for
+	// packing (sender, half) and unpacking (receiver, full), mirroring
+	// the erosion runner's migration accounting. Default: 1e5 FLOP.
+	MigrateFlopPerItem float64
+
+	// RebuildFlopPerItem is the compute every PE pays per local item
+	// after a LB step to rebuild its data structures — the fixed,
+	// alpha-independent component of the LB cost C. Default: 2e5 FLOP.
+	RebuildFlopPerItem float64
+
+	// PartitionFlopPerItem is the compute charged to the main PE per
+	// item at each LB step: the centralized stripe technique scans the
+	// gathered item weights. Default: 64 FLOP.
+	PartitionFlopPerItem float64
+
+	// TriggerFactory builds the per-rank trigger state machine deciding
+	// when the balancer fires. Every rank calls it once; the triggers
+	// must be deterministic (LB decisions are collective). Nil selects
+	// the adaptive degradation rule.
+	TriggerFactory func() Trigger
+
+	// WarmupLB is the iteration of the forced first LB call, which seeds
+	// the average-LB-cost estimate adaptive triggers need. Negative
+	// disables the warmup call. Default (0 value) means 1.
+	WarmupLB int
+}
+
+// Normalized returns the config with defaults applied.
+func (c SynthConfig) Normalized() SynthConfig {
+	if c.FlopPerUnit == 0 {
+		c.FlopPerUnit = 1e6
+	}
+	if c.ItemBytes == 0 {
+		c.ItemBytes = 4096
+	}
+	if c.MigrateFlopPerItem == 0 {
+		c.MigrateFlopPerItem = 1e5
+	}
+	if c.RebuildFlopPerItem == 0 {
+		c.RebuildFlopPerItem = 2e5
+	}
+	if c.PartitionFlopPerItem == 0 {
+		c.PartitionFlopPerItem = 64
+	}
+	if c.WarmupLB == 0 {
+		c.WarmupLB = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c SynthConfig) Validate() error {
+	if c.P <= 0 {
+		return fmt.Errorf("lb: synth P = %d must be positive", c.P)
+	}
+	if c.Items < c.P {
+		return fmt.Errorf("lb: synth needs at least one item per PE: %d items for %d PEs", c.Items, c.P)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("lb: synth Iterations = %d must be positive", c.Iterations)
+	}
+	if c.Weight == nil {
+		return fmt.Errorf("lb: synth Weight function is nil")
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if c.FlopPerUnit < 0 || c.ItemBytes < 0 || c.MigrateFlopPerItem < 0 ||
+		c.RebuildFlopPerItem < 0 || c.PartitionFlopPerItem < 0 {
+		return fmt.Errorf("lb: synth cost knobs must be non-negative")
+	}
+	if c.WarmupLB >= c.Iterations {
+		return fmt.Errorf("lb: synth WarmupLB = %d beyond the run of %d iterations", c.WarmupLB, c.Iterations)
+	}
+	return nil
+}
+
+// SynthResult is the measured per-iteration timeline of one scenario run.
+type SynthResult struct {
+	TotalTime   float64   // final wall time (max virtual clock), seconds
+	IterTimes   []float64 // shared per-iteration wall time (excluding LB steps)
+	Usage       []float64 // average PE usage per iteration, in [0,1]
+	LBIters     []int     // iterations at which the balancer ran
+	LBCosts     []float64 // measured cost of each LB step, seconds
+	AvgLBCost   float64   // mean of LBCosts (0 if none)
+	FinalBounds []int     // final item-range boundaries, len P+1
+	ComputeTime []float64 // per-rank total compute seconds
+}
+
+// LBCount returns the number of LB invocations.
+func (r SynthResult) LBCount() int { return len(r.LBIters) }
+
+// MeanUsage returns the run-average PE usage.
+func (r SynthResult) MeanUsage() float64 { return stats.Mean(r.Usage) }
+
+// PerfectTime returns the perfect-knowledge lower bound on the scenario's
+// total time: every iteration's total workload spread perfectly evenly over
+// the PEs, with free balancing and free communication. No policy — reactive
+// or anticipating — can beat it, which makes it the natural denominator for
+// scenario efficiency.
+func PerfectTime(cfg SynthConfig) float64 {
+	cfg = cfg.Normalized()
+	total := 0.0
+	for i := 0; i < cfg.Iterations; i++ {
+		sum := 0.0
+		for j := 0; j < cfg.Items; j++ {
+			sum += cfg.Weight(j, i)
+		}
+		total += sum * cfg.FlopPerUnit / (float64(cfg.P) * cfg.Cost.FLOPS)
+	}
+	return total
+}
+
+// RunSynth executes the synthetic scenario on cfg.P simulated PEs and
+// returns the measured timeline. Runs are fully deterministic: same config,
+// same result. The structure mirrors Run: a BSP iteration loop whose
+// compute phase is driven by the weight function, the shared max-allreduce
+// iteration clock feeding the trigger, and a centralized even re-partition
+// (gather weights, cut stripes on the main PE, broadcast, migrate along the
+// deterministic transfer plan) whenever the trigger fires.
+func RunSynth(cfg SynthConfig) (SynthResult, error) {
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return SynthResult{}, err
+	}
+	p := cfg.P
+	flops := cfg.Cost.FLOPS
+
+	// Out-of-band metric stores; each rank writes disjoint slots.
+	iterTimes := make([]float64, cfg.Iterations)
+	computeShare := make([]float64, cfg.Iterations) // filled by rank 0 from allreduce
+	var lbIters []int
+	var lbCosts []float64
+	var finalBounds []int
+
+	clocks, allStats, err := mpisim.RunCollect(p, cfg.Cost, func(proc *mpisim.Proc) error {
+		rank := proc.Rank()
+
+		// Initial partition: an even split by item count, the analogue
+		// of one stripe per PE. Free of charge: the data starts in
+		// place.
+		bounds := make([]int, p+1)
+		for i := range bounds {
+			bounds[i] = i * cfg.Items / p
+		}
+
+		var trig Trigger
+		if cfg.TriggerFactory != nil {
+			trig = cfg.TriggerFactory()
+		} else {
+			trig = NewDegradation()
+		}
+
+		var lbCostAvg stats.Running
+		prevMax := 0.0
+
+		for i := 0; i < cfg.Iterations; i++ {
+			// Compute phase: cost proportional to the weight of the
+			// items owned at this iteration.
+			flop := 0.0
+			for j := bounds[rank]; j < bounds[rank+1]; j++ {
+				flop += cfg.Weight(j, i)
+			}
+			flop *= cfg.FlopPerUnit
+			proc.Compute(flop)
+
+			// Collective bookkeeping: the compute share for the
+			// usage trace, and the shared iteration clock. The
+			// max-allreduce doubles as the BSP iteration barrier.
+			computeSum := proc.AllreduceSum(flop / flops)
+			maxClock := proc.AllreduceMax(proc.Clock())
+			iterTime := maxClock - prevMax
+			prevMax = maxClock
+			trig.Observe(iterTime)
+
+			if rank == 0 {
+				iterTimes[i] = iterTime
+				computeShare[i] = computeSum
+			}
+
+			// LB decision: identical on every rank because all the
+			// inputs are shared collective results.
+			threshold := math.Inf(1)
+			if lbCostAvg.N() > 0 {
+				threshold = lbCostAvg.Mean()
+			}
+			fire := i == cfg.WarmupLB || trig.ShouldFire(threshold)
+			if !fire {
+				continue
+			}
+
+			// ---- LB step: centralized even re-partition ----
+			bounds = rebalanceSynth(proc, bounds, i, cfg)
+			lbEnd := proc.AllreduceMax(proc.Clock())
+			cost := lbEnd - maxClock
+			lbCostAvg.Add(cost)
+			prevMax = lbEnd
+			trig.Reset()
+			if rank == 0 {
+				lbIters = append(lbIters, i)
+				lbCosts = append(lbCosts, cost)
+			}
+		}
+
+		if rank == 0 {
+			finalBounds = bounds
+		}
+		return nil
+	})
+	if err != nil {
+		return SynthResult{}, err
+	}
+
+	res := SynthResult{
+		IterTimes:   iterTimes,
+		LBIters:     lbIters,
+		LBCosts:     lbCosts,
+		FinalBounds: finalBounds,
+	}
+	for _, c := range clocks {
+		if c > res.TotalTime {
+			res.TotalTime = c
+		}
+	}
+	res.Usage = make([]float64, cfg.Iterations)
+	for i := range res.Usage {
+		if iterTimes[i] > 0 {
+			res.Usage[i] = stats.Clamp(computeShare[i]/(float64(p)*iterTimes[i]), 0, 1)
+		}
+	}
+	if len(lbCosts) > 0 {
+		res.AvgLBCost = stats.Mean(lbCosts)
+	}
+	res.ComputeTime = make([]float64, p)
+	for r, s := range allStats {
+		res.ComputeTime[r] = s.ComputeTime
+	}
+	return res, nil
+}
+
+// rebalanceSynth runs one centralized LB step of the synthetic runner:
+// every PE sends its per-item weights at iteration i to the main PE, which
+// cuts new even-target stripes over the full weight array and broadcasts
+// them; then item state migrates point-to-point along the deterministic
+// transfer plan and every PE rebuilds its local structures. The weights are
+// globally recomputable (pure function), but the runner still pays the
+// communication and compute of the centralized technique — that cost is the
+// C the triggers trade off against.
+func rebalanceSynth(proc *mpisim.Proc, oldBounds []int, iter int, cfg SynthConfig) []int {
+	p := proc.Size()
+	rank := proc.Rank()
+
+	// Gather [lo, weights...] on the main PE.
+	payload := make([]float64, 0, 1+oldBounds[rank+1]-oldBounds[rank])
+	payload = append(payload, float64(oldBounds[rank]))
+	for j := oldBounds[rank]; j < oldBounds[rank+1]; j++ {
+		payload = append(payload, cfg.Weight(j, iter))
+	}
+	parts := proc.Gather(0, mpisim.PackFloat64s(payload))
+
+	var boundsWire []byte
+	if rank == 0 {
+		itemW := make([]float64, cfg.Items)
+		for _, part := range parts {
+			vals := mpisim.UnpackFloat64s(part)
+			lo := int(vals[0])
+			copy(itemW[lo:lo+len(vals)-1], vals[1:])
+		}
+		targets := partition.EvenTargets(stats.Sum(itemW), p)
+		newBounds := partition.Stripes(itemW, targets)
+		newBounds = partition.EnsureMinCols(newBounds, 1)
+		// The centralized partitioning technique runs on the main PE
+		// over the gathered item weights.
+		proc.Compute(cfg.PartitionFlopPerItem * float64(cfg.Items))
+		boundsWire = mpisim.PackInts(newBounds)
+	}
+	newBounds := mpisim.UnpackInts(proc.Bcast(0, boundsWire))
+
+	// Migration along the shared deterministic plan: sends first (eager,
+	// non-blocking), then receives in plan order. The item state is
+	// virtual — weights are recomputable — so only the modeled wire size
+	// and the pack/unpack compute are charged.
+	plan := partition.Transfers(oldBounds, newBounds)
+	for _, tr := range plan {
+		if tr.From == rank {
+			cnt := tr.Hi - tr.Lo
+			proc.Compute(0.5 * cfg.MigrateFlopPerItem * float64(cnt))
+			proc.SendV(tr.To, tagMigrate, nil, cnt*cfg.ItemBytes)
+		}
+	}
+	for _, tr := range plan {
+		if tr.To == rank {
+			proc.Recv(tr.From, tagMigrate)
+			cnt := tr.Hi - tr.Lo
+			proc.Compute(cfg.MigrateFlopPerItem * float64(cnt))
+		}
+	}
+	// Every PE rebuilds its local structures over its (new) range.
+	proc.Compute(cfg.RebuildFlopPerItem * float64(newBounds[rank+1]-newBounds[rank]))
+	return newBounds
+}

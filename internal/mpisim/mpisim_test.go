@@ -329,3 +329,38 @@ func TestPayloadIntegrityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSendVNilPayloadChargesVirtualBytes(t *testing.T) {
+	// The synthetic runtime runner migrates recomputable state: it sends
+	// nil payloads whose cost model still charges the modeled wire size.
+	// The receiver must block until the virtual transfer completes and
+	// get back an empty (not nil-panicking) payload.
+	cost := CostModel{Latency: 1e-6, ByteTime: 1e-9, FLOPS: 1e9}
+	const virtual = 1 << 20
+	var recvClock float64
+	err := Run(2, cost, func(p *Proc) error {
+		switch p.Rank() {
+		case 0:
+			p.SendV(1, 7, nil, virtual)
+			if got := p.Stats().BytesSent; got != virtual {
+				return fmt.Errorf("sender charged %d bytes, want %d", got, virtual)
+			}
+		case 1:
+			payload := p.Recv(0, 7)
+			if len(payload) != 0 {
+				return fmt.Errorf("nil payload arrived as %d bytes", len(payload))
+			}
+			recvClock = p.Clock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receive completes no earlier than the full modeled transfer:
+	// send latency + serialization, plus the receiver's own latency.
+	wantMin := cost.Latency + virtual*cost.ByteTime + cost.Latency
+	if recvClock < wantMin {
+		t.Fatalf("receiver clock %g beat the modeled transfer time %g", recvClock, wantMin)
+	}
+}

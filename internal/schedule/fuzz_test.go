@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"ulba/internal/instance"
+	"ulba/internal/model"
+)
+
+// fuzzParams builds a Table-II-shaped model instance from raw fuzz inputs.
+// Every float is first collapsed to a finite value in [0, 1) and then
+// scaled into its Table II range, mirroring instance.Generator.SampleAt —
+// so arbitrary fuzz bytes always map to a structurally valid instance
+// (bool ok reports the rare remainder the model still rejects).
+func fuzzParams(pSel, gammaSel uint8, nFrac, w0Frac, growth, skew, costFrac, alpha float64) (model.Params, bool) {
+	unit := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		x = math.Abs(x)
+		return x - math.Floor(x) // fractional part: always in [0, 1)
+	}
+	ps := []int{4, 16, 64, instance.PChoices[0], instance.PChoices[1], instance.PChoices[2], instance.PChoices[3]}
+	p := model.Params{
+		P:     ps[int(pSel)%len(ps)],
+		Gamma: 1 + int(gammaSel)%200,
+		Omega: instance.Omega,
+		Alpha: unit(alpha),
+	}
+	// N spans [0, P): N = 0 exercises the no-overload (ErrNoOverload)
+	// branches the Fig. 3 buckets never reach.
+	p.N = int(float64(p.P) * unit(nFrac))
+	if p.N >= p.P {
+		p.N = p.P - 1
+	}
+	p.W0 = (instance.W0PerPELo + unit(w0Frac)*(instance.W0PerPEHi-instance.W0PerPELo)) * float64(p.P)
+	perPE := p.W0 / float64(p.P)
+	p.DeltaW = perPE * 0.5 * unit(growth)
+	y := instance.SkewLo + unit(skew)*(instance.SkewHi-instance.SkewLo)
+	if p.N == 0 {
+		y = 0 // all growth must be the even share when nobody overloads
+	}
+	p.A = p.DeltaW * (1 - y) / float64(p.P)
+	if p.N > 0 {
+		p.M = p.DeltaW * y / float64(p.N)
+	}
+	p.C = perPE * (5 * unit(costFrac)) / p.Omega
+	if err := p.Validate(); err != nil {
+		return p, false
+	}
+	return p, true
+}
+
+// fuzzGrid replicates simulate.AlphaGrid without importing the higher
+// layer: size points uniformly over [0, 1], always containing 0.
+func fuzzGrid(size int) []float64 {
+	if size < 1 {
+		size = 1
+	}
+	grid := make([]float64, size)
+	if size == 1 {
+		return grid
+	}
+	for i := range grid {
+		grid[i] = float64(i) / float64(size-1)
+	}
+	return grid
+}
+
+// FuzzEvaluatorMatchesSlowPath is the generative extension of the golden
+// equivalence tests: for arbitrary Table-II-shaped instances and alpha
+// grids, every Evaluator fast path must be bit-identical (==, not within
+// epsilon) to the materialize-a-Schedule slow path it replaces. Any
+// re-association, hoisting mistake, or pruning bug in the incremental
+// evaluator shows up here as a one-ULP drift.
+//
+// Run the generative search locally with:
+//
+//	go test -fuzz=FuzzEvaluatorMatchesSlowPath -fuzztime=30s ./internal/schedule
+//
+// The checked-in corpus under testdata/fuzz seeds it with the paper's
+// Fig. 2-3 parameter regimes (each Fig. 3 overloading bucket, the Fig. 2
+// random-alpha setting, and the no-overload edge).
+func FuzzEvaluatorMatchesSlowPath(f *testing.F) {
+	// Seed the corpus from the Fig. 3 buckets (log-spaced overloading
+	// fractions), cycling PE counts and LB-cost regimes across buckets.
+	for i, frac := range instance.Fig3Buckets {
+		f.Add(uint8(3+i), uint8(99), frac, 0.5, 0.3, 0.5, float64(i)/10, 0.4)
+	}
+	// Fig. 2 regime: random alpha as an instance property.
+	f.Add(uint8(4), uint8(99), 0.1, 0.25, 0.8, 0.9, 0.6, 0.77)
+	// The no-overload edge (N = 0) and the tiny-P, short-run corner.
+	f.Add(uint8(0), uint8(0), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+	f.Fuzz(func(t *testing.T, pSel, gammaSel uint8, nFrac, w0Frac, growth, skew, costFrac, alpha float64) {
+		p, ok := fuzzParams(pSel, gammaSel, nFrac, w0Frac, growth, skew, costFrac, alpha)
+		if !ok {
+			t.Skip("model rejects the instance")
+		}
+		var ev Evaluator
+
+		slowSched := EverySigmaPlus(p)
+		if fast := ev.SigmaPlus(p); !equalSchedules(fast, slowSched) {
+			t.Fatalf("SigmaPlus schedules differ: fast %v, slow %v (params %+v)", fast, slowSched, p)
+		}
+		if fast, slow := ev.TotalTimeULBA(p), TotalTimeULBA(p, slowSched); fast != slow {
+			t.Fatalf("TotalTimeULBA: fast %v != slow %v (params %+v)", fast, slow, p)
+		}
+		if fast, slow := ev.TotalTimeStd(p), TotalTimeStd(p, slowSched); fast != slow {
+			t.Fatalf("TotalTimeStd: fast %v != slow %v (params %+v)", fast, slow, p)
+		}
+
+		// The grid size derives from the instance, keeping the arg list
+		// small: 2..33 points spanning degenerate and paper-like grids.
+		grid := fuzzGrid(2 + int(pSel)%32)
+		fastAlpha, fastBest := ev.BestAlphaIncremental(p, grid)
+		slowAlpha, slowBest := -1.0, -1.0
+		for _, a := range grid {
+			pa := p.WithAlpha(a)
+			if tt := TotalTimeULBA(pa, EverySigmaPlus(pa)); slowBest < 0 || tt < slowBest {
+				slowBest, slowAlpha = tt, a
+			}
+		}
+		if fastAlpha != slowAlpha || fastBest != slowBest {
+			t.Fatalf("BestAlpha: fast (%v, %v) != slow (%v, %v) (params %+v)",
+				fastAlpha, fastBest, slowAlpha, slowBest, p)
+		}
+	})
+}
+
+func equalSchedules(a, b Schedule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,8 +5,10 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -111,6 +113,61 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ParseCSVMatrix parses a rectangular numeric CSV matrix: one row per line,
+// comma-separated float64 cells. A first line whose cells do not all parse
+// as numbers is treated as a header and returned separately (nil when the
+// file starts directly with data). Blank lines are skipped. Every data row
+// must have the same width; a ragged or non-numeric data row is an error.
+// It is the read-side counterpart of Table.WriteCSV and the loader behind
+// trace-replay workloads: row i holds the per-item weights of iteration i.
+func ParseCSVMatrix(r io.Reader) (header []string, rows [][]float64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		row := make([]float64, len(cells))
+		ok := true
+		for i, c := range cells {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(c), 64)
+			if perr != nil {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		switch {
+		case !ok && header == nil && len(rows) == 0:
+			header = make([]string, len(cells))
+			for i, c := range cells {
+				header[i] = strings.TrimSpace(c)
+			}
+		case !ok:
+			return nil, nil, fmt.Errorf("trace: line %d: non-numeric cell in data row", lineNo)
+		case len(rows) > 0 && len(row) != len(rows[0]):
+			return nil, nil, fmt.Errorf("trace: line %d: %d cells, want %d (ragged matrix)",
+				lineNo, len(row), len(rows[0]))
+		default:
+			rows = append(rows, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("trace: no data rows")
+	}
+	if header != nil && len(header) != len(rows[0]) {
+		return nil, nil, fmt.Errorf("trace: header has %d cells, data rows have %d", len(header), len(rows[0]))
+	}
+	return header, rows, nil
 }
 
 // sparkLevels are the eight block characters used by Sparkline.

@@ -134,3 +134,64 @@ func TestUsagePlot(t *testing.T) {
 		t.Error("zero width should still render")
 	}
 }
+
+func TestParseCSVMatrixWithHeader(t *testing.T) {
+	header, rows, err := ParseCSVMatrix(strings.NewReader("a, b ,c\n1,2,3\n\n4.5, 5 ,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 3 || header[0] != "a" || header[1] != "b" || header[2] != "c" {
+		t.Fatalf("header = %v", header)
+	}
+	if len(rows) != 2 || rows[0][0] != 1 || rows[1][0] != 4.5 || rows[1][2] != 6 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestParseCSVMatrixWithoutHeader(t *testing.T) {
+	header, rows, err := ParseCSVMatrix(strings.NewReader("1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != nil {
+		t.Fatalf("header = %v, want nil", header)
+	}
+	if len(rows) != 2 || rows[1][1] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestParseCSVMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":                 "",
+		"header only":           "a,b,c\n",
+		"ragged data":           "1,2\n1,2,3\n",
+		"non-numeric data row":  "1,2\n1,x\n",
+		"header width mismatch": "a,b,c\n1,2\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseCSVMatrix(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestParseCSVMatrixRoundTripsWriteCSV(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRow(1.5, 2.5)
+	tb.AddRow(3.0, 4.0)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	header, rows, err := ParseCSVMatrix(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 2 || header[0] != "x" {
+		t.Fatalf("header = %v", header)
+	}
+	if len(rows) != 2 || rows[0][0] != 1.5 || rows[1][1] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}

@@ -14,6 +14,7 @@ type settings struct {
 	model     *ModelParams
 	workers   int
 	alphaGrid int
+	workload  Workload
 }
 
 type optionScope int
@@ -21,6 +22,8 @@ type optionScope int
 const (
 	scopeExperiment optionScope = 1 << iota
 	scopeSweep
+	scopeRuntime
+	scopeRuntimeSweep
 )
 
 // Option configures an Experiment (see New) or a Sweep (see NewSweep).
@@ -40,8 +43,24 @@ func sweepOption(name string, apply func(*settings) error) Option {
 	return Option{name: name, scope: scopeSweep, apply: apply}
 }
 
+func runtimeOption(name string, apply func(*settings) error) Option {
+	return Option{name: name, scope: scopeRuntime, apply: apply}
+}
+
 func sharedOption(name string, apply func(*settings) error) Option {
-	return Option{name: name, scope: scopeExperiment | scopeSweep, apply: apply}
+	return Option{name: name, scope: scopeExperiment | scopeSweep | scopeRuntime, apply: apply}
+}
+
+// poolOption marks an option that applies to every builder, including the
+// worker-pool-only RuntimeSweep.
+func poolOption(name string, apply func(*settings) error) Option {
+	return Option{name: name, scope: scopeExperiment | scopeSweep | scopeRuntime | scopeRuntimeSweep, apply: apply}
+}
+
+// runOption marks an option shared by the two run builders (Experiment and
+// RuntimeExperiment) but meaningless to a Sweep.
+func runOption(name string, apply func(*settings) error) Option {
+	return Option{name: name, scope: scopeExperiment | scopeRuntime, apply: apply}
 }
 
 func applyOptions(s *settings, scope optionScope, kind string, opts []Option) error {
@@ -90,7 +109,7 @@ func WithAdaptiveAlpha() Option {
 
 // WithIterations sets the run length gamma.
 func WithIterations(n int) Option {
-	return experimentOption("WithIterations", func(s *settings) error {
+	return runOption("WithIterations", func(s *settings) error {
 		if n <= 0 {
 			return fmt.Errorf("ulba: WithIterations(%d) must be positive", n)
 		}
@@ -109,7 +128,7 @@ func WithApp(app AppConfig) Option {
 
 // WithCostModel replaces the simulated cluster's cost model.
 func WithCostModel(cm CostModel) Option {
-	return experimentOption("WithCostModel", func(s *settings) error {
+	return runOption("WithCostModel", func(s *settings) error {
 		s.cfg.Cost = cm
 		return nil
 	})
@@ -170,7 +189,7 @@ func WithSeed(seed uint64) Option {
 // WithTrigger installs a runtime trigger (when to balance, decided from the
 // measured iteration times). Mutually exclusive with WithPlanner.
 func WithTrigger(t Trigger) Option {
-	return experimentOption("WithTrigger", func(s *settings) error {
+	return runOption("WithTrigger", func(s *settings) error {
 		if t == nil {
 			return fmt.Errorf("ulba: WithTrigger(nil)")
 		}
@@ -179,8 +198,9 @@ func WithTrigger(t Trigger) Option {
 	})
 }
 
-// WithPlanner installs a planner. For an Experiment the planner precomputes
-// the LB schedule from the analytic model (WithModel is then required) and
+// WithPlanner installs a planner. For an Experiment or RuntimeExperiment
+// the planner precomputes the LB schedule from the analytic model (WithModel
+// is required unless the runtime workload implements ModeledWorkload) and
 // the run replays it; for a Sweep the planner builds the ULBA schedule each
 // instance is evaluated on. Mutually exclusive with WithTrigger.
 func WithPlanner(pl Planner) Option {
@@ -193,11 +213,26 @@ func WithPlanner(pl Planner) Option {
 	})
 }
 
-// WithModel attaches the analytic model parameters an Experiment's planner
-// plans against.
+// WithModel attaches the analytic model parameters an Experiment's (or
+// RuntimeExperiment's) planner plans against. A RuntimeExperiment whose
+// workload implements ModeledWorkload may omit it: the model is then
+// derived from the workload itself.
 func WithModel(mp ModelParams) Option {
-	return experimentOption("WithModel", func(s *settings) error {
+	return runOption("WithModel", func(s *settings) error {
 		s.model = &mp
+		return nil
+	})
+}
+
+// WithWorkload selects the synthetic workload a RuntimeExperiment executes
+// (see the Workload interface and WorkloadNames for the registry). The
+// default is the linear-drift workload.
+func WithWorkload(w Workload) Option {
+	return runtimeOption("WithWorkload", func(s *settings) error {
+		if w == nil {
+			return fmt.Errorf("ulba: WithWorkload(nil)")
+		}
+		s.workload = w
 		return nil
 	})
 }
@@ -205,7 +240,7 @@ func WithModel(mp ModelParams) Option {
 // WithWorkers bounds the number of concurrent runs or instance evaluations.
 // n <= 0 selects GOMAXPROCS. Results never depend on the worker count.
 func WithWorkers(n int) Option {
-	return sharedOption("WithWorkers", func(s *settings) error {
+	return poolOption("WithWorkers", func(s *settings) error {
 		s.workers = n
 		return nil
 	})

@@ -1,0 +1,109 @@
+package ulba_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ulba"
+)
+
+// The workload registry mirrors the planner and trigger registries: every
+// scenario generator is selectable by name, e.g. from a CLI -workload flag,
+// and third parties can register their own.
+func ExampleWorkloadNames() {
+	fmt.Println(ulba.WorkloadNames())
+
+	w, err := ulba.NewWorkload("bursty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	items, _, err := w.Instantiate(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d items on 8 PEs\n", w.Name(), items)
+	// Output:
+	// [bursty exponential linear outlier stationary trace]
+	// bursty: 512 items on 8 PEs
+}
+
+// A RuntimeExperiment actually executes a workload on the simulated
+// cluster under a runtime trigger, reporting the measured timeline against
+// the no-LB baseline and the perfect-knowledge bound. Runs are
+// deterministic: this example's output is bit-stable.
+func ExampleNewRuntime() {
+	exp, err := ulba.NewRuntime(4,
+		ulba.WithWorkload(ulba.LinearWorkload{Seed: 1}),
+		ulba.WithIterations(100),
+		ulba.WithTrigger(ulba.DegradationTrigger{}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LB calls: %d\n", res.Timeline.LBCount())
+	fmt.Printf("beats no-LB: %v\n", res.Gain() > 0)
+	fmt.Printf("bounded by perfect knowledge: %v\n",
+		res.Timeline.TotalTime >= res.PerfectTime)
+	// Output:
+	// LB calls: 17
+	// beats no-LB: true
+	// bounded by perfect knowledge: true
+}
+
+// Planning on the analytic model and replaying the plan at runtime is the
+// paper's anticipation move: a ModeledWorkload derives its own Table I
+// parameters, so no explicit WithModel is needed.
+func ExampleNewRuntime_planner() {
+	exp, err := ulba.NewRuntime(4,
+		ulba.WithWorkload(ulba.LinearWorkload{Seed: 1}),
+		ulba.WithIterations(100),
+		ulba.WithPlanner(ulba.PeriodicPlanner{Every: 20}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:", exp.PlannedSchedule())
+
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replayed LB steps:", res.Timeline.LBCount())
+	// Output:
+	// plan: LB@[20 40 60 80]
+	// replayed LB steps: 4
+}
+
+// A RuntimeSweep fans scenarios over a bounded worker pool; the aggregate
+// is bit-identical for every worker count.
+func ExampleNewRuntimeSweep() {
+	var exps []*ulba.RuntimeExperiment
+	for seed := uint64(0); seed < 4; seed++ {
+		exp, err := ulba.NewRuntime(4,
+			ulba.WithWorkload(ulba.BurstyWorkload{Seed: seed}),
+			ulba.WithIterations(80),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exps = append(exps, exp)
+	}
+	sweep, err := ulba.NewRuntimeSweep(ulba.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, _, err := sweep.Run(context.Background(), exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenarios: %d\n", sum.Scenarios)
+	fmt.Printf("every scenario beat no-LB: %v\n", sum.Gains.Min > 0)
+	// Output:
+	// scenarios: 4
+	// every scenario beat no-LB: true
+}

@@ -135,12 +135,33 @@ func (s *Sweep) Stream(ctx context.Context, params []ModelParams) <-chan SweepRe
 // ctx.Done, trading that determinism for tolerance of consumers that stop
 // receiving after cancellation.
 func (s *Sweep) stream(ctx context.Context, params []ModelParams, guaranteed bool) <-chan SweepResult {
-	workers := s.workers
+	return fanOut(ctx, len(params), s.workers, guaranteed, func() func(int) SweepResult {
+		// One evaluator per worker. The fast-path methods are stateless
+		// today, but evaluator state (the SigmaPlus scratch buffer, any
+		// future memoization) must stay per-goroutine, so the plumbing
+		// is per-worker.
+		var ev schedule.Evaluator
+		return func(i int) SweepResult {
+			c, err := s.compare(&ev, params[i])
+			return SweepResult{Index: i, Comparison: c, Err: err}
+		}
+	})
+}
+
+// fanOut is the bounded worker pool shared by the batch engines (Sweep and
+// RuntimeSweep): it dispatches indices 0..n-1 in input order over workers
+// goroutines and streams one result per dispatched index. newWorker is
+// called once per worker goroutine to build its eval function, giving each
+// worker private scratch state (e.g. a schedule.Evaluator). guaranteed
+// selects the delivery contract documented on Sweep.stream: blocking sends
+// (every dispatched result lands, consumers must drain until close) versus
+// best-effort sends racing ctx.Done.
+func fanOut[R any](ctx context.Context, n, workers int, guaranteed bool, newWorker func() func(i int) R) <-chan R {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(params) {
-		workers = len(params)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
@@ -148,21 +169,16 @@ func (s *Sweep) stream(ctx context.Context, params []ModelParams, guaranteed boo
 	// A workers-sized buffer decouples completion from consumption without
 	// growing with the batch: memory stays O(workers) however many
 	// instances stream through.
-	out := make(chan SweepResult, workers)
+	out := make(chan R, workers)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One evaluator per worker. The fast-path methods are
-			// stateless today, but evaluator state (the SigmaPlus
-			// scratch buffer, any future memoization) must stay
-			// per-goroutine, so the plumbing is per-worker.
-			var ev schedule.Evaluator
+			eval := newWorker()
 			for i := range idx {
-				c, err := s.compare(&ev, params[i])
-				r := SweepResult{Index: i, Comparison: c, Err: err}
+				r := eval(i)
 				if guaranteed {
 					// The consumer drains until close, so this always
 					// lands; a select against ctx.Done here could drop
@@ -181,7 +197,7 @@ func (s *Sweep) stream(ctx context.Context, params []ModelParams, guaranteed boo
 	go func() {
 		defer close(out)
 	dispatch:
-		for i := range params {
+		for i := 0; i < n; i++ {
 			// The Err pre-check makes cancellation deterministic: once
 			// the context reports done, no further instance is
 			// dispatched, even if the select below could still win the
@@ -215,38 +231,53 @@ func (s *Sweep) Run(ctx context.Context, params []ModelParams) (SweepSummary, []
 }
 
 // collectSweep drains a result stream of n expected instances into
-// input-ordered comparisons and their summary. cancel stops the producing
-// stream on the first per-instance error; when several instances error, the
-// one with the lowest input index wins, so the reported error does not
-// depend on completion order. A stream that closes short of n results
-// without an error reports either the caller's context error or the
-// delivered/expected mismatch.
+// input-ordered comparisons and their summary.
 func collectSweep(ctx context.Context, cancel context.CancelFunc, results <-chan SweepResult, n int) (SweepSummary, []Comparison, error) {
 	comps := make([]Comparison, n)
+	err := collectIndexed(ctx, cancel, results, n, "instances",
+		func(r SweepResult) (int, error) { return r.Index, r.Err },
+		func(r SweepResult) { comps[r.Index] = r.Comparison })
+	if err != nil {
+		return SweepSummary{}, nil, err
+	}
+	return summarizeSweep(comps), comps, nil
+}
+
+// collectIndexed is the collector shared by the batch engines: it drains a
+// guaranteed-delivery result stream of n expected indexed results, storing
+// successes via store. cancel stops the producing stream on the first
+// per-item error; when several items error, the one with the lowest input
+// index wins, so the reported error does not depend on completion order. A
+// stream that closes short of n results without an error reports either
+// the caller's context error or the delivered/expected mismatch (noun
+// names the items in that message).
+func collectIndexed[R any](ctx context.Context, cancel context.CancelFunc, results <-chan R, n int,
+	noun string, examine func(R) (index int, err error), store func(R)) error {
 	got := 0
 	var firstErr error
 	firstErrIdx := -1
 	for r := range results {
-		if r.Err != nil {
-			if firstErrIdx < 0 || r.Index < firstErrIdx {
-				firstErr, firstErrIdx = r.Err, r.Index
+		idx, err := examine(r)
+		if err != nil {
+			if firstErrIdx < 0 || idx < firstErrIdx {
+				firstErr, firstErrIdx = err, idx
 			}
 			cancel()
 			continue
 		}
-		comps[r.Index] = r.Comparison
+		store(r)
 		got++
 	}
 	if firstErr != nil {
-		return SweepSummary{}, nil, firstErr
+		return firstErr
 	}
 	if got < n {
 		if err := ctx.Err(); err != nil {
-			return SweepSummary{}, nil, err
+			return err
 		}
-		return SweepSummary{}, nil, fmt.Errorf("ulba: sweep delivered %d of %d instances", got, n)
+		return fmt.Errorf("ulba: sweep delivered %d of %d %s", got, n, noun)
 	}
-	return summarizeSweep(comps), comps, nil
+	return nil
 }
 
 // summarizeSweep aggregates comparisons in slice order.

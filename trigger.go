@@ -148,10 +148,27 @@ func init() {
 	mustRegisterTrigger("menon", func() Trigger { return MenonTrigger{} })
 	mustRegisterTrigger("periodic", func() Trigger { return PeriodicTrigger{Every: 10} })
 	mustRegisterTrigger("never", func() Trigger { return NeverTrigger{} })
+	// The replay trigger registers with an empty plan (it then never
+	// fires); callers configure the schedule, typically through
+	// WithPlanner, which installs it automatically.
+	mustRegisterTrigger("schedule", func() Trigger { return ScheduleTrigger{} })
 }
 
 // normalizeSchedule clamps an arbitrary iteration list into a valid
 // schedule for a gamma-iteration run.
 func normalizeSchedule(iters []int, gamma int) Schedule {
 	return schedule.Normalize(iters, gamma)
+}
+
+// dropsWarmup reports whether an installed trigger makes the forced warmup
+// LB call wrong rather than helpful: the static baseline must stay free of
+// LB calls, and a schedule replay already encodes its (possibly absent)
+// first step — a forced warmup call would distort the plan.
+func dropsWarmup(t Trigger) bool {
+	switch t.(type) {
+	case NeverTrigger, ScheduleTrigger:
+		return true
+	default:
+		return false
+	}
 }

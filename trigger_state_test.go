@@ -1,0 +1,230 @@
+package ulba_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ulba"
+)
+
+// triggerCase drives one trigger state machine through a scripted run: at
+// step i the trigger observes times[i], is asked ShouldFire against
+// thresholds[i], and — when it fires and resetAfterFire is set — is Reset,
+// modeling the balancer running (the runner's contract).
+type triggerCase struct {
+	name           string // registry name the case covers
+	trigger        ulba.Trigger
+	times          []float64
+	thresholds     []float64
+	wantFire       []bool
+	resetAfterFire bool
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func ramp(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + step*float64(i)
+	}
+	return out
+}
+
+func triggerCases(t *testing.T) []triggerCase {
+	t.Helper()
+	fromRegistry := func(name string) ulba.Trigger {
+		trig, err := ulba.NewTrigger(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trig
+	}
+	inf := math.Inf(1)
+	return []triggerCase{
+		{
+			// The static baseline ignores everything, even a zero
+			// threshold.
+			name:       "never",
+			trigger:    fromRegistry("never"),
+			times:      ramp(1, 1, 6),
+			thresholds: repeat(0, 6),
+			wantFire:   []bool{false, false, false, false, false, false},
+		},
+		{
+			// Fixed interval: fires on the 3rd observation after every
+			// reset, threshold ignored (even infinite).
+			name:           "periodic",
+			trigger:        ulba.PeriodicTrigger{Every: 3},
+			times:          repeat(1, 8),
+			thresholds:     repeat(inf, 8),
+			wantFire:       []bool{false, false, true, false, false, true, false, false},
+			resetAfterFire: true,
+		},
+		{
+			// A periodic trigger left unreset keeps reporting fire once
+			// the interval elapsed.
+			name:       "periodic",
+			trigger:    ulba.PeriodicTrigger{Every: 2},
+			times:      repeat(1, 4),
+			thresholds: repeat(0, 4),
+			wantFire:   []bool{false, true, true, true},
+		},
+		{
+			// Degradation accumulates median-of-3 minus the reference
+			// (the first time after a reset). Constant times never
+			// accumulate, so it never fires.
+			name:       "degradation",
+			trigger:    fromRegistry("degradation"),
+			times:      repeat(2, 6),
+			thresholds: repeat(0.001, 6),
+			wantFire:   []bool{false, false, false, false, false, false},
+		},
+		{
+			// Times 1, 2, 3, ... with reference 1: the degradation
+			// accumulates 0, 0.5, 1.5, 3, 5 (medians 1, 1.5, 2, 2.5, 3
+			// minus the reference, summed). Threshold 3 is reached at
+			// the 4th observation; after the reset the accumulation
+			// restarts from the new reference 5.
+			name:           "degradation",
+			trigger:        fromRegistry("degradation"),
+			times:          ramp(1, 1, 8),
+			thresholds:     repeat(3, 8),
+			wantFire:       []bool{false, false, false, true, false, false, false, true},
+			resetAfterFire: true,
+		},
+		{
+			// An infinite threshold (no LB-cost estimate yet) must never
+			// fire, however much degradation accumulated.
+			name:       "degradation",
+			trigger:    fromRegistry("degradation"),
+			times:      ramp(1, 5, 6),
+			thresholds: repeat(inf, 6),
+			wantFire:   []bool{false, false, false, false, false, false},
+		},
+		{
+			// Menon fits the slope of the observed times and fires at
+			// tau = sqrt(2*C/slope): slope 1, C = 8 -> tau = 4
+			// observations.
+			name:           "menon",
+			trigger:        fromRegistry("menon"),
+			times:          ramp(1, 1, 10),
+			thresholds:     repeat(8, 10),
+			wantFire:       []bool{false, false, false, true, false, false, false, true, false, false},
+			resetAfterFire: true,
+		},
+		{
+			// A perfectly balanced (flat) application has slope zero:
+			// Menon never fires.
+			name:       "menon",
+			trigger:    fromRegistry("menon"),
+			times:      repeat(3, 8),
+			thresholds: repeat(0.1, 8),
+			wantFire:   []bool{false, false, false, false, false, false, false, false},
+		},
+		{
+			// Schedule replay: entries 2 and 5 fire after the 2nd and
+			// 5th observed iterations, regardless of the thresholds.
+			name:           "schedule",
+			trigger:        ulba.ScheduleTrigger{Schedule: ulba.Schedule{2, 5}},
+			times:          repeat(1, 7),
+			thresholds:     repeat(inf, 7),
+			wantFire:       []bool{false, true, false, false, true, false, false},
+			resetAfterFire: true,
+		},
+		{
+			// The registry's default replay trigger carries an empty
+			// plan: it never fires.
+			name:       "schedule",
+			trigger:    fromRegistry("schedule"),
+			times:      repeat(1, 4),
+			thresholds: repeat(0, 4),
+			wantFire:   []bool{false, false, false, false},
+		},
+	}
+}
+
+// playTrigger runs one scripted case against a fresh state machine and
+// returns the fire sequence.
+func playTrigger(t *testing.T, tc triggerCase) []bool {
+	t.Helper()
+	rt := tc.trigger.New()
+	got := make([]bool, len(tc.times))
+	for i, obs := range tc.times {
+		rt.Observe(obs)
+		got[i] = rt.ShouldFire(tc.thresholds[i])
+		if got[i] && tc.resetAfterFire {
+			rt.Reset()
+		}
+	}
+	return got
+}
+
+func TestTriggerStateMachines(t *testing.T) {
+	for _, tc := range triggerCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := playTrigger(t, tc); !reflect.DeepEqual(got, tc.wantFire) {
+				t.Fatalf("fire sequence %v, want %v", got, tc.wantFire)
+			}
+		})
+	}
+}
+
+// TestTriggerReplayDeterminism pins the collective-decision contract: two
+// fresh state machines from the same Trigger fed the identical observation
+// stream make identical decisions at every step — what every rank of a run
+// relies on to stay deadlock-free.
+func TestTriggerReplayDeterminism(t *testing.T) {
+	for _, tc := range triggerCases(t) {
+		a := playTrigger(t, tc)
+		b := playTrigger(t, tc)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two identical replays diverged: %v vs %v", tc.name, a, b)
+		}
+	}
+}
+
+// TestTriggerTableCoversRegistry fails when a trigger is registered without
+// a state-machine case above, so the table cannot silently fall behind the
+// registry.
+func TestTriggerTableCoversRegistry(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, tc := range triggerCases(t) {
+		covered[tc.name] = true
+	}
+	for _, name := range ulba.TriggerNames() {
+		if !covered[name] {
+			t.Errorf("registered trigger %q has no state-machine test case", name)
+		}
+	}
+}
+
+// TestTriggerRegistryRoundTrip checks every registered trigger constructs,
+// reports its registry name, and produces independent state machines.
+func TestTriggerRegistryRoundTrip(t *testing.T) {
+	for _, name := range ulba.TriggerNames() {
+		trig, err := ulba.NewTrigger(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trig.Name() != name {
+			t.Errorf("trigger %q reports Name() = %q", name, trig.Name())
+		}
+		a, b := trig.New(), trig.New()
+		// Advancing one state machine must not advance the other: feed a
+		// a long ramp and verify a fresh b still behaves freshly.
+		for i := 0; i < 20; i++ {
+			a.Observe(float64(i))
+			a.ShouldFire(1)
+		}
+		if fired := b.ShouldFire(0.0001); fired && name != "periodic" {
+			t.Errorf("trigger %q: fresh state machine fired without observations", name)
+		}
+	}
+}
