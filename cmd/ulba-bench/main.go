@@ -19,17 +19,26 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ulba"
 	"ulba/internal/cli"
 	"ulba/internal/schedule"
+	"ulba/internal/server"
 )
 
 // slowSigmaPlanner plans the same sigma+ schedules as the built-in planner
@@ -78,6 +87,27 @@ type benchRecord struct {
 	Summary       summaryRecord `json:"summary"`
 
 	Runtime *runtimeRecord `json:"runtime,omitempty"`
+	Server  *serverRecord  `json:"server,omitempty"`
+}
+
+// serverRecord is the service-layer entry of the trajectory: the HTTP
+// server (internal/server) under a pinned request mix of distinct and
+// repeated sweep calls, so both cold-path throughput and the cache's
+// hit-serving rate are on the record. ResponseSHA256 hashes the body of
+// the first pinned request and is bit-deterministic like the summary
+// blocks: any change there means served results moved, not just the clock.
+type serverRecord struct {
+	Requests          int     `json:"requests"`
+	Distinct          int     `json:"distinct"`
+	Clients           int     `json:"clients"`
+	InstancesPerReq   int     `json:"instances_per_request"`
+	Seconds           float64 `json:"seconds"`
+	RequestsPerSec    float64 `json:"requests_per_sec"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	SingleFlightJoins uint64  `json:"single_flight_joins"`
+	EngineRuns        uint64  `json:"engine_runs"`
+	ResponseSHA256    string  `json:"response_sha256"`
 }
 
 // runtimeRecord is the runtime-sweep entry of the trajectory: the scenario
@@ -104,23 +134,26 @@ func fatal(args ...any) {
 
 func main() {
 	var (
-		instances = flag.Int("instances", 2000, "number of Table II instances in the pinned workload")
-		alphas    = flag.Int("alphas", 100, "alpha grid size (paper: 100)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep workers")
-		seed      = flag.Uint64("seed", 2019, "instance-sampling seed (pinned: changing it forks the trajectory)")
-		short     = flag.Bool("short", false, "CI-sized workload (200 instances and 12 runtime scenarios unless set explicitly)")
-		noSlow    = flag.Bool("noslow", false, "skip the slow-path baseline (no speedup field)")
-		scenarios = flag.Int("runtime-scenarios", 24, "pinned runtime-sweep scenarios (0 skips the runtime entry)")
-		out       = flag.String("out", "BENCH_sweep.json", "output file; - for stdout")
+		instances  = flag.Int("instances", 2000, "number of Table II instances in the pinned workload")
+		alphas     = flag.Int("alphas", 100, "alpha grid size (paper: 100)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "sweep workers")
+		seed       = flag.Uint64("seed", 2019, "instance-sampling seed (pinned: changing it forks the trajectory)")
+		short      = flag.Bool("short", false, "CI-sized workload (200 instances and 12 runtime scenarios unless set explicitly)")
+		noSlow     = flag.Bool("noslow", false, "skip the slow-path baseline (no speedup field)")
+		scenarios  = flag.Int("runtime-scenarios", 24, "pinned runtime-sweep scenarios (0 skips the runtime entry)")
+		serverReqs = flag.Int("server-requests", 64, "pinned HTTP sweep requests against an in-process ulba-serve (0 skips the server entry)")
+		out        = flag.String("out", "BENCH_sweep.json", "output file; - for stdout")
 	)
 	flag.Parse()
-	instancesSet, scenariosSet := false, false
+	instancesSet, scenariosSet, serverReqsSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "instances":
 			instancesSet = true
 		case "runtime-scenarios":
 			scenariosSet = true
+		case "server-requests":
+			serverReqsSet = true
 		}
 	})
 	if *short && !instancesSet {
@@ -128,6 +161,9 @@ func main() {
 	}
 	if *short && !scenariosSet {
 		*scenarios = 12
+	}
+	if *short && !serverReqsSet {
+		*serverReqs = 32
 	}
 	if *instances <= 0 {
 		fatal(fmt.Sprintf("-instances must be positive, got %d", *instances))
@@ -217,6 +253,14 @@ func main() {
 		rec.Runtime = rt
 	}
 
+	if *serverReqs > 0 {
+		sr, err := measureServer(*serverReqs, *seed, *workers)
+		if err != nil {
+			fatal("server:", err)
+		}
+		rec.Server = sr
+	}
+
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -241,6 +285,115 @@ func main() {
 			rec.Runtime.Scenarios, rec.Runtime.Workloads, rec.Runtime.ScenariosPerSec,
 			rec.Runtime.AllocsPerInst, rec.Runtime.MeanGain*100)
 	}
+	if rec.Server != nil {
+		fmt.Fprintf(os.Stderr, "server: %d requests (%d distinct, %d clients): %.0f requests/sec, %d hits + %d joins over %d engine runs\n",
+			rec.Server.Requests, rec.Server.Distinct, rec.Server.Clients, rec.Server.RequestsPerSec,
+			rec.Server.CacheHits, rec.Server.SingleFlightJoins, rec.Server.EngineRuns)
+	}
+}
+
+// measureServer drives an in-process ulba-serve over a real TCP listener
+// with a pinned request mix: `distinct` different sweep bodies cycled by
+// concurrent clients, so most requests repeat a body some other client
+// computes — the cache-and-dedup regime the service exists for. It records
+// throughput, the cache counters, and the SHA-256 of the first body (every
+// repetition of a body is verified bit-identical against its first
+// occurrence before the hash goes on the record).
+func measureServer(requests int, seed uint64, clients int) (*serverRecord, error) {
+	const (
+		distinct        = 8
+		instancesPerReq = 200
+	)
+	srv := server.New(server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	defer httpSrv.Close()
+	go httpSrv.Serve(ln)
+	url := "http://" + ln.Addr().String() + "/v1/sweep"
+
+	body := func(i int) string {
+		return fmt.Sprintf(`{"sample":{"seed":%d,"n":%d},"alpha_grid":50}`, seed+uint64(i%distinct), instancesPerReq)
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	post := func(i int) ([]byte, error) {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body(i)))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		buf, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, buf)
+		}
+		return buf, nil
+	}
+
+	// Warm nothing: the first round's misses are part of the measurement.
+	bodies := make([][]byte, requests)
+	errs := make([]error, clients)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				buf, err := post(i)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				bodies[i] = buf
+			}
+		}(c)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Determinism check: every repetition of a body must be bit-identical
+	// to its first occurrence, whether it was computed, joined, or hit.
+	first := make(map[int][]byte, distinct)
+	for i, buf := range bodies {
+		d := i % distinct
+		if prev, ok := first[d]; !ok {
+			first[d] = buf
+		} else if !bytes.Equal(prev, buf) {
+			return nil, fmt.Errorf("request %d served different bytes than an identical earlier request", i)
+		}
+	}
+
+	stats := srv.Stats()
+	return &serverRecord{
+		Requests:          requests,
+		Distinct:          min(distinct, requests),
+		Clients:           clients,
+		InstancesPerReq:   instancesPerReq,
+		Seconds:           dur.Seconds(),
+		RequestsPerSec:    float64(requests) / dur.Seconds(),
+		CacheHits:         stats.Cache.Hits,
+		CacheMisses:       stats.Cache.Misses,
+		SingleFlightJoins: stats.Cache.Joins,
+		EngineRuns:        stats.EngineRuns,
+		ResponseSHA256:    fmt.Sprintf("%x", sha256.Sum256(first[0])),
+	}, nil
 }
 
 // measureRuntimeSweep runs the pinned runtime-scenario mix through the

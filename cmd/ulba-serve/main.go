@@ -1,0 +1,99 @@
+// Command ulba-serve exposes the four engines of package ulba — Experiment,
+// Sweep, RuntimeExperiment, RuntimeSweep — as an HTTP/JSON service with a
+// deterministic, content-addressed result cache and single-flight
+// deduplication of concurrent identical requests (see internal/server and
+// API.md for the endpoint reference).
+//
+//	ulba-serve                         # listen on :8383
+//	ulba-serve -addr 127.0.0.1:0      # ephemeral port, printed on startup
+//	curl localhost:8383/v1/registries
+//	curl -d '{"sample":{"seed":2019,"n":100}}' localhost:8383/v1/sweep
+//	curl -d '{"sample":{"seed":1,"n":8},"stream":true}' localhost:8383/v1/runtime-sweep
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests get -shutdown-timeout to finish (their contexts are
+// cancelled when it expires), and the exit is clean.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ulba/internal/server"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8383", "listen address (host:port; port 0 picks an ephemeral port)")
+		cacheMB         = flag.Int64("cache-mb", 64, "result-cache budget in MiB; 0 disables storage (single-flight dedup stays on)")
+		maxConcurrent   = flag.Int("max-concurrent", 0, "max requests running engine work at once; <= 0 selects GOMAXPROCS")
+		maxBodyMB       = flag.Int64("max-body-mb", 32, "request-body size limit in MiB")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // Config: negative disables, 0 means default
+	}
+	srv := server.New(server.Config{
+		CacheBytes:    cacheBytes,
+		MaxConcurrent: *maxConcurrent,
+		MaxBodyBytes:  *maxBodyMB << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ulba-serve: %v", err)
+	}
+	workers := *maxConcurrent
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The startup line is load-bearing: the CI smoke test and scripted
+	// clients parse the address from it (port 0 binds an ephemeral port).
+	fmt.Printf("ulba-serve listening on %s (cache %d MiB, %d concurrent engine requests)\n",
+		ln.Addr(), *cacheMB, workers)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("ulba-serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// The grace period expired: cancel the stragglers' contexts and
+		// close their connections rather than hanging forever.
+		httpSrv.Close()
+		log.Printf("ulba-serve: forced shutdown after %s: %v", *shutdownTimeout, err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ulba-serve: %v", err)
+	}
+	fmt.Println("ulba-serve: graceful shutdown complete")
+}

@@ -1,0 +1,48 @@
+package ulba_test
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ulba"
+)
+
+// TestDesignTablesMatchRegistries parses the policy tables of DESIGN.md and
+// pins their registry-name columns to the live PlannerNames / TriggerNames /
+// WorkloadNames output, so the documentation cannot drift from the code: a
+// registration without a table row (or a stale row) fails here.
+func TestDesignTablesMatchRegistries(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table rows look like: | `SigmaPlusPlanner` | `sigma+` | ... — the
+	// implementation type's suffix says which registry the row documents.
+	row := regexp.MustCompile("^\\| `([A-Za-z]+)` +\\| `([a-z+]+)` ")
+	documented := map[string][]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := row.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, kind := range []string{"Planner", "Trigger", "Workload"} {
+			if strings.HasSuffix(m[1], kind) {
+				documented[kind] = append(documented[kind], m[2])
+			}
+		}
+	}
+	for kind, registered := range map[string][]string{
+		"Planner":  ulba.PlannerNames(),
+		"Trigger":  ulba.TriggerNames(),
+		"Workload": ulba.WorkloadNames(),
+	} {
+		docs := append([]string(nil), documented[kind]...)
+		sort.Strings(docs)
+		if strings.Join(docs, ",") != strings.Join(registered, ",") {
+			t.Errorf("%s registry %v does not match the DESIGN.md table %v", kind, registered, docs)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Package ulba reproduces "On the Benefits of Anticipating Load Imbalance
 // for Performance Optimization of Parallel Applications" (Boulmier, Raynaud,
-// Abdennadher, Chopard; IEEE CLUSTER 2019; arXiv:1909.07168).
+// Abdennadher, Chopard; IEEE CLUSTER 2019; arXiv:1909.07168) and grows it
+// into a composable, servable experimentation harness for load-balancing
+// policies.
 //
 // ULBA — the Underloading Load Balancing Approach — anticipates load
 // imbalance instead of merely reacting to it: processing elements whose
@@ -9,35 +11,75 @@
 // itself through its own dynamics before imbalance degrades performance
 // again.
 //
-// The public API is organized around the two policy axes the paper studies,
-// both pluggable and registry-backed so new policies compose with the
+// # Policy axes and registries
+//
+// The public API is organized around the policy axes the paper studies,
+// all pluggable and registry-backed so new policies compose with the
 // existing harness:
 //
 //   - Planner — when to balance, decided ahead of time on the analytic
-//     model (Eqs. 1-12): SigmaPlusPlanner (the paper's proposal),
-//     MenonPlanner (the standard method), PeriodicPlanner, AnnealPlanner
-//     (the heuristic baseline of Fig. 2). RegisterPlanner / NewPlanner
-//     select planners by name, e.g. from a -planner CLI flag.
+//     model (Eqs. 1-12): SigmaPlusPlanner (the paper's proposal, registry
+//     name "sigma+"), MenonPlanner ("menon"), PeriodicPlanner ("periodic"),
+//     AnnealPlanner ("anneal", the heuristic baseline of Fig. 2).
+//     RegisterPlanner / NewPlanner / PlannerNames select planners by name.
 //   - Trigger — when to balance, decided at runtime from the measured
 //     iteration times: DegradationTrigger (the adaptive rule of Zhai et
-//     al., the default), MenonTrigger, PeriodicTrigger, NeverTrigger, and
-//     ScheduleTrigger, which replays a planned schedule on the simulated
-//     cluster. RegisterTrigger / NewTrigger mirror the planner registry.
+//     al., the default; "degradation"), MenonTrigger ("menon"),
+//     PeriodicTrigger ("periodic"), NeverTrigger ("never"), and
+//     ScheduleTrigger ("schedule"), which replays a planned schedule on
+//     the simulated cluster. RegisterTrigger / NewTrigger / TriggerNames
+//     mirror the planner registry.
 //   - Workload — what the runtime scenario engine executes: a registry of
-//     synthetic load dynamics (stationary, linear and exponential drift,
-//     bursty, heavy-tailed outlier WIR, recorded-trace replay) whose pure
-//     weight functions make every policy comparison noise-free.
-//     RegisterWorkload / NewWorkload complete the registry trio.
+//     synthetic load dynamics ("stationary", "linear" and "exponential"
+//     drift, "bursty", heavy-tailed "outlier" WIR, recorded-"trace"
+//     replay) whose pure weight functions make every policy comparison
+//     noise-free. RegisterWorkload / NewWorkload / WorkloadNames complete
+//     the registry trio.
 //
-// Single runs are built with the Experiment builder and executed with
-// context cancellation; batch evaluations over many model instances go
-// through the concurrent Sweep engine, which streams per-instance
-// Comparison results and aggregates them bit-identically for every worker
-// count. On the runtime side, NewRuntime builds one scenario (any
-// Workload x any Trigger or Planner, executed over the simulated cluster
-// and measured against the no-LB baseline and the perfect-knowledge lower
-// bound) and NewRuntimeSweep batches scenarios over the same worker pool
-// with the same bit-identical aggregation contract.
+// The registry names above are the exact vocabulary of the CLI flags
+// (-planner, -trigger, -workload), of the DESIGN.md tables, and of the
+// HTTP service's GET /v1/registries endpoint; a test pins the three views
+// against each other.
+//
+// PlannerSpec, TriggerSpec, and WorkloadSpec are the wire-format
+// counterpart of the policy values: serializable structs that name a
+// registered policy plus its configuration knobs and resolve into live
+// values. They are how config-driven frontends — the HTTP service, stored
+// experiment descriptions — construct the same engines the in-process
+// builders do.
+//
+// # Engines
+//
+// Four engines share one option vocabulary (functional options, eagerly
+// validated, scope-checked per builder):
+//
+//   - Experiment (New): one fluid-with-erosion application run on the
+//     simulated distributed-memory cluster, with Compare for the
+//     standard-method baseline on identical physics.
+//   - Sweep (NewSweep): the concurrent batch engine over model instances
+//     behind the paper's Fig. 3 — streams per-instance Comparison results
+//     and aggregates them bit-identically for every worker count.
+//   - RuntimeExperiment (NewRuntime): one synthetic scenario (any Workload
+//     under any Trigger or Planner) executed on the simulated cluster and
+//     measured against the no-LB baseline and the perfect-knowledge bound.
+//   - RuntimeSweep (NewRuntimeSweep): the batch engine over scenarios,
+//     sharing the worker pool and aggregation contracts with Sweep.
+//
+// SummarizeSweep and SummarizeRuntimeSweep expose the engines' input-order
+// aggregation to Stream consumers that collect results themselves.
+//
+// # Service layer
+//
+// internal/server and cmd/ulba-serve put the four engines behind an
+// HTTP/JSON service: POST /v1/experiment, /v1/sweep, /v1/runtime, and
+// /v1/runtime-sweep map requests onto the builders through the spec types,
+// the sweep endpoints accept batched instance sets and stream NDJSON
+// results as they complete, and a deterministic content-addressed result
+// cache (LRU by byte budget, single-flight deduplication of concurrent
+// identical requests) serves repeated work without recomputing — sound
+// because every engine result is a pure function of its request. See
+// API.md for the HTTP reference and DESIGN.md ("Service layer") for the
+// cache-key, single-flight, and streaming contracts.
 //
 // # Evaluation core
 //
@@ -55,12 +97,15 @@
 //
 // # Determinism
 //
-// Three guarantees compose: per-instance evaluations are pure functions of
-// their parameters; Sweep aggregates in input order regardless of
-// completion order, so summaries are bit-identical for every worker count;
-// and the fast path is bit-identical to the slow path, so enabling the
-// optimization is unobservable in results. Run cmd/ulba-bench to verify
-// the fast/slow agreement on your hardware while recording throughput.
+// Four guarantees compose: per-instance evaluations and scenario runs are
+// pure functions of their parameters; both sweep engines aggregate in
+// input order regardless of completion order, so summaries are
+// bit-identical for every worker count; the evaluator fast path is
+// bit-identical to the slow path, so enabling the optimization is
+// unobservable in results; and therefore a served response is bit-identical
+// to the in-process result, which is what makes the service's result cache
+// sound. Run cmd/ulba-bench to verify the fast/slow agreement and record
+// throughput (model sweep, runtime sweep, and served-request entries).
 //
 // Quick start:
 //
@@ -76,11 +121,21 @@
 //	cmp, err := exp.Compare(ctx) // same instance under the standard method too
 //	// cmp.Gain(), cmp.CallsAvoided()
 //
-// And a model-side batch sweep (the engine behind Fig. 3):
+// A model-side batch sweep (the engine behind Fig. 3):
 //
 //	sweep, err := ulba.NewSweep(ulba.WithWorkers(8))
 //	summary, comps, err := sweep.Run(ctx, ulba.SampleInstances(seed, 1000))
 //	// summary.Gains.Median, summary.MeanBestAlpha ...
+//
+// And a runtime scenario — execute a workload instead of evaluating the
+// model:
+//
+//	rexp, err := ulba.NewRuntime(8,
+//	        ulba.WithWorkload(ulba.BurstyWorkload{}),
+//	        ulba.WithIterations(200),
+//	)
+//	rres, err := rexp.Run(ctx)
+//	// rres.Gain(), rres.Efficiency(), rres.Timeline.LBCount() ...
 //
 // The package remains a facade over the internal building blocks:
 //
@@ -96,12 +151,16 @@
 //   - the fluid-with-erosion application of Section IV-B with its
 //     centralized stripe partitioner, gossip WIR dissemination, z-score
 //     overload detection, and the adaptive degradation trigger, runnable
-//     under the standard method or ULBA.
+//     under the standard method or ULBA;
+//   - the synthetic runtime-scenario runner (internal/lb.RunSynth) behind
+//     the Workload engine, with its no-LB and perfect-knowledge reference
+//     points.
 //
 // The pre-builder entry points (Run, DefaultRunConfig, MenonSchedule,
 // SigmaPlusSchedule, AnnealSchedule) remain as deprecated shims delegating
 // to the new API.
 //
-// See the examples directory for complete programs and DESIGN.md for the
-// API surface and the per-experiment index.
+// See the examples directory for complete programs, DESIGN.md for the API
+// surface and the per-experiment index, and API.md for the HTTP service
+// reference.
 package ulba

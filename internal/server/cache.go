@@ -1,0 +1,175 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache is the deterministic result cache of the service: a content-addressed
+// map from canonical request keys to fully rendered response bodies, bounded
+// by a byte budget with least-recently-used eviction, with single-flight
+// deduplication of concurrent identical requests.
+//
+// The cache is only sound because of the determinism contract (DESIGN.md):
+// every engine result is a pure function of its canonicalized request, so a
+// cached body is bit-identical to what a fresh computation would produce and
+// serving it is unobservable — except in latency and in the hit counters.
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	entries  map[string]*list.Element
+	lru      list.List // front = most recently used; values are *cacheEntry
+	inflight map[string]*flight
+
+	hits, misses, joins, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation. Followers block on done; the
+// leader fills body/err before closing it.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Outcome reports how a Do call was served, for the X-Ulba-Cache response
+// header and the tests that pin cache behavior.
+type Outcome string
+
+// Do outcomes.
+const (
+	// Hit served a stored body without computing.
+	Hit Outcome = "hit"
+	// Miss computed, and (budget permitting) stored the body.
+	Miss Outcome = "miss"
+	// Join waited on a concurrent identical request's computation.
+	Join Outcome = "join"
+)
+
+// NewCache builds a cache with the given byte budget. budget <= 0 stores
+// nothing: the cache degenerates to pure single-flight deduplication.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:   budget,
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the response body for key, computing it with compute on a miss.
+// Concurrent calls with the same key compute once: followers block until the
+// leader finishes and share its body (single flight). A leader error is not
+// cached and not shared as a verdict — the error may be the leader's own
+// (its context cancelled mid-run), so each follower retries the key instead
+// of inheriting it; one follower becomes the new leader. Callers must not
+// mutate the returned slice.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			body := el.Value.(*cacheEntry).body
+			c.mu.Unlock()
+			return body, Hit, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.joins++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.body, Join, nil
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, Join, err
+				}
+				continue // leader failed; retry, possibly as the new leader
+			case <-ctx.Done():
+				return nil, Join, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		f.body, f.err = compute()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.store(key, f.body)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.body, Miss, f.err
+	}
+}
+
+// store inserts a computed body, evicting least-recently-used entries until
+// the budget holds. Bodies larger than the whole budget are not stored.
+// Callers hold c.mu.
+func (c *Cache) store(key string, body []byte) {
+	size := entrySize(key, body)
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A retry after a failed leader can race another leader for the
+		// same key; determinism makes the bodies identical, so keep the
+		// stored one.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.budget {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.key)
+		c.used -= entrySize(e.key, e.body)
+		c.evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+	c.used += size
+}
+
+func entrySize(key string, body []byte) int64 {
+	return int64(len(key) + len(body))
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Joins     uint64 `json:"single_flight_joins"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget_bytes"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Joins:     c.joins,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.used,
+		Budget:    c.budget,
+	}
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustDo(t *testing.T, c *Cache, key, val string) Outcome {
+	t.Helper()
+	body, outcome, err := c.Do(context.Background(), key, func() ([]byte, error) {
+		return []byte(val), nil
+	})
+	if err != nil {
+		t.Fatalf("Do(%q): %v", key, err)
+	}
+	if outcome != Hit && string(body) != val {
+		t.Fatalf("Do(%q) = %q, want %q", key, body, val)
+	}
+	return outcome
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1 << 20)
+	if got := mustDo(t, c, "a", "va"); got != Miss {
+		t.Fatalf("first Do = %v, want miss", got)
+	}
+	if got := mustDo(t, c, "a", "ignored"); got != Hit {
+		t.Fatalf("second Do = %v, want hit", got)
+	}
+	body, _, _ := c.Do(context.Background(), "a", func() ([]byte, error) {
+		t.Fatal("hit must not recompute")
+		return nil, nil
+	})
+	if string(body) != "va" {
+		t.Fatalf("hit body = %q, want the original", body)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss, 1 entry", s)
+	}
+}
+
+// TestCacheEviction pins the LRU byte budget: inserting past the budget
+// evicts the least-recently-used entries, and touching an entry protects it.
+func TestCacheEviction(t *testing.T) {
+	entry := entrySize("k0", bytes.Repeat([]byte("x"), 100))
+	c := NewCache(3 * entry) // room for exactly three entries
+	val := func(i int) string { return string(bytes.Repeat([]byte{byte('a' + i)}, 100)) }
+	for i := 0; i < 3; i++ {
+		mustDo(t, c, fmt.Sprintf("k%d", i), val(i))
+	}
+	mustDo(t, c, "k0", val(0)) // touch k0: k1 becomes the LRU victim
+	mustDo(t, c, "k3", val(3)) // over budget: evicts k1
+
+	if got := mustDo(t, c, "k1", val(1)); got != Miss {
+		t.Errorf("evicted k1 should miss, got %v", got)
+	}
+	if got := mustDo(t, c, "k0", val(0)); got != Hit {
+		t.Errorf("recently used k0 should hit, got %v", got)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Errorf("stats report no evictions: %+v", s)
+	}
+	if s := c.Stats(); s.Bytes > s.Budget {
+		t.Errorf("cache over budget: %d > %d", s.Bytes, s.Budget)
+	}
+}
+
+// TestCacheOversizedBody checks that a body larger than the whole budget is
+// served but never stored.
+func TestCacheOversizedBody(t *testing.T) {
+	c := NewCache(8)
+	mustDo(t, c, "big", "a body much larger than eight bytes")
+	if got := mustDo(t, c, "big", "a body much larger than eight bytes"); got != Miss {
+		t.Errorf("oversized entry should recompute, got %v", got)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("oversized entry was stored: %+v", s)
+	}
+}
+
+// TestCacheZeroBudget: storage disabled, single-flight still dedups.
+func TestCacheZeroBudget(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(context.Background(), "k", func() ([]byte, error) {
+				<-gate
+				computes.Add(1)
+				return []byte("v"), nil
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got < 1 {
+		t.Fatalf("computes = %d", got)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("zero-budget cache stored an entry: %+v", s)
+	}
+	// Sequential repeats recompute every time: nothing is stored.
+	before := computes.Load()
+	c.Do(context.Background(), "k", func() ([]byte, error) {
+		computes.Add(1)
+		return []byte("v"), nil
+	})
+	if computes.Load() != before+1 {
+		t.Error("zero-budget cache served a stored body")
+	}
+}
+
+// TestCacheLeaderErrorNotShared: a failed computation is not cached and a
+// follower retries instead of inheriting the leader's error.
+func TestCacheLeaderErrorNotShared(t *testing.T) {
+	c := NewCache(1 << 10)
+	leaderIn := make(chan struct{})
+	leaderFail := make(chan struct{})
+
+	var leaderErr error
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, leaderErr = c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-leaderFail
+			return nil, errors.New("leader died")
+		})
+	}()
+	<-leaderIn // the leader now owns the flight
+
+	var followerBody []byte
+	var followerErr error
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		followerBody, _, followerErr = c.Do(context.Background(), "k", func() ([]byte, error) {
+			return []byte("recovered"), nil
+		})
+	}()
+	// Fail the leader only once the follower is blocked on its flight, so
+	// the retry path (not a plain miss) is what the test exercises.
+	for c.Stats().Joins == 0 {
+		runtime.Gosched()
+	}
+	close(leaderFail)
+	<-leaderDone
+	<-followerDone
+
+	if leaderErr == nil {
+		t.Fatal("leader error lost")
+	}
+	if followerErr != nil {
+		t.Fatalf("follower inherited the leader's error: %v", followerErr)
+	}
+	if string(followerBody) != "recovered" {
+		t.Fatalf("follower body = %q, want recovered", followerBody)
+	}
+	if got := mustDo(t, c, "k", "recovered"); got != Hit {
+		t.Errorf("retry result was not cached, got %v", got)
+	}
+}
+
+// TestCacheWaiterCancellation: a follower whose context dies while waiting
+// reports its own context error without disturbing the leader.
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache(1 << 10)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("v"), nil
+		})
+	}()
+
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() ([]byte, error) {
+		t.Error("cancelled follower must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-leaderDone
+	if got := mustDo(t, c, "k", "v"); got != Hit {
+		t.Errorf("leader result missing after follower cancellation, got %v", got)
+	}
+}

@@ -1,0 +1,386 @@
+// Package server is the HTTP/JSON service layer over the four engines of
+// package ulba: Experiment, Sweep, RuntimeExperiment, and RuntimeSweep. The
+// determinism contract (every result is a pure function of its request)
+// makes the engines ideal behind a content-addressed result cache: the
+// server canonicalizes each request, hashes it, and serves repeated or
+// concurrent identical requests from one computation. Sweep endpoints accept
+// batched instance sets and can stream NDJSON results as they complete over
+// the engines' existing Stream machinery.
+//
+// cmd/ulba-serve wraps this package into a deployable binary; API.md is the
+// HTTP reference, and the "Service layer" section of DESIGN.md documents the
+// cache-key, single-flight, and streaming contracts.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"ulba"
+)
+
+// Config parameterizes a Server. The zero value is usable: a 64 MiB cache,
+// GOMAXPROCS concurrent engine requests, and 32 MiB request bodies.
+type Config struct {
+	// CacheBytes is the result cache's byte budget. Negative disables
+	// storage (single-flight deduplication still applies); 0 selects the
+	// 64 MiB default.
+	CacheBytes int64
+	// MaxConcurrent bounds how many requests may run engine work at
+	// once — the server-level counterpart of WithWorkers, with the same
+	// convention: <= 0 selects GOMAXPROCS. Requests beyond the bound
+	// queue (respecting their context) rather than erroring.
+	MaxConcurrent int
+	// MaxBodyBytes bounds a request body; <= 0 selects 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server routes the service endpoints and owns the result cache and the
+// engine-concurrency limiter. Build it with New; it is safe for concurrent
+// use and is typically mounted via Handler.
+type Server struct {
+	cache   *Cache
+	sem     chan struct{}
+	mux     *http.ServeMux
+	maxBody int64
+
+	requests   atomic.Uint64
+	engineRuns atomic.Uint64
+}
+
+// New builds a Server from cfg (see Config for the zero-value defaults).
+func New(cfg Config) *Server {
+	budget := cfg.CacheBytes
+	switch {
+	case budget == 0:
+		budget = 64 << 20
+	case budget < 0:
+		budget = 0
+	}
+	workers := cfg.MaxConcurrent
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	s := &Server{
+		cache:   NewCache(budget),
+		sem:     make(chan struct{}, workers),
+		mux:     http.NewServeMux(),
+		maxBody: maxBody,
+	}
+	s.mux.HandleFunc("GET /v1/registries", s.handleRegistries)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/runtime", s.handleRuntime)
+	s.mux.HandleFunc("POST /v1/runtime-sweep", s.handleRuntimeSweep)
+	return s
+}
+
+// Handler returns the root handler serving every endpoint.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Stats is the service-level counter snapshot behind GET /v1/stats.
+type Stats struct {
+	Requests   uint64     `json:"requests"`
+	EngineRuns uint64     `json:"engine_runs"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// Stats snapshots the request, engine-run, and cache counters. EngineRuns
+// counts actual engine executions: the gap between it and Requests is the
+// work the cache and single-flight deduplication saved.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:   s.requests.Load(),
+		EngineRuns: s.engineRuns.Load(),
+		Cache:      s.cache.Stats(),
+	}
+}
+
+// acquire claims an engine slot, or gives up when the request dies first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// writeEngineError maps an engine failure: a dead request context is the
+// client's doing (or the server draining), everything else is a 500.
+func writeEngineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// decode strictly parses a request body: unknown fields and trailing data
+// are errors, so typos surface as 400s instead of silently evaluating a
+// default.
+func decode(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid request body: trailing data after the JSON object")
+	}
+	return nil
+}
+
+// cacheKey derives the content address of a canonicalized request:
+// endpoint-scoped SHA-256 over its deterministic JSON encoding (struct
+// fields marshal in declaration order, so equal requests hash equally).
+func cacheKey(endpoint string, canonical any) (string, error) {
+	buf, err := json.Marshal(canonical)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(append([]byte(endpoint+"\n"), buf...))
+	return fmt.Sprintf("%x", sum), nil
+}
+
+// serveCached answers one unary engine request through the cache: compute
+// runs at most once per content address across concurrent and repeated
+// requests, under an engine slot. compute returns the fully rendered
+// response body, so hits and joins are byte-identical to fresh misses.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, canonical any, compute func(ctx context.Context) (any, error)) {
+	key, err := cacheKey(endpoint, canonical)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ctx := r.Context()
+	body, outcome, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		s.engineRuns.Add(1)
+		resp, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		// The newline is part of the cached body, so hits and joins
+		// serve bytes identical to the original miss.
+		return append(buf, '\n'), nil
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ulba-Cache", string(outcome))
+	w.Write(body)
+}
+
+// registriesResponse lists the registered policy and scenario names, the
+// exact vocabulary the request specs accept.
+type registriesResponse struct {
+	Planners  []string `json:"planners"`
+	Triggers  []string `json:"triggers"`
+	Workloads []string `json:"workloads"`
+}
+
+func (s *Server) handleRegistries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(registriesResponse{
+		Planners:  ulba.PlannerNames(),
+		Triggers:  ulba.TriggerNames(),
+		Workloads: ulba.WorkloadNames(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// experimentResponse is the body of POST /v1/experiment. Result (and
+// Baseline, with compare) marshal ulba.RunResult as-is; Gain and
+// CallsAvoided are the MethodComparison derivations, and
+// PredictedTotalTime carries Experiment.PlannedTotalTime for planner-driven
+// runs.
+type experimentResponse struct {
+	Result             ulba.RunResult  `json:"result"`
+	Baseline           *ulba.RunResult `json:"baseline,omitempty"`
+	Gain               *float64        `json:"gain,omitempty"`
+	CallsAvoided       *float64        `json:"calls_avoided,omitempty"`
+	PredictedTotalTime *float64        `json:"predicted_total_time,omitempty"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req experimentRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	exp, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, "/v1/experiment", req.canonical(), func(ctx context.Context) (any, error) {
+		var resp experimentResponse
+		if req.Compare {
+			cmp, err := exp.Compare(ctx)
+			if err != nil {
+				return nil, err
+			}
+			gain, avoided := cmp.Gain(), cmp.CallsAvoided()
+			resp.Result = cmp.Result
+			resp.Baseline = &cmp.Baseline
+			resp.Gain, resp.CallsAvoided = &gain, &avoided
+		} else {
+			res, err := exp.Run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			resp.Result = res
+		}
+		if t, ok := exp.PlannedTotalTime(); ok {
+			resp.PredictedTotalTime = &t
+		}
+		return resp, nil
+	})
+}
+
+// sweepResponse is the body of a non-streamed POST /v1/sweep: exactly
+// Sweep.Run's summary and input-ordered comparisons, marshaled as-is.
+type sweepResponse struct {
+	Summary     ulba.SweepSummary `json:"summary"`
+	Comparisons []ulba.Comparison `json:"comparisons"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sweep, n, materialize, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Stream {
+		streamSweep(w, r, s, n, func(ctx context.Context) <-chan ulba.SweepResult {
+			return sweep.Stream(ctx, materialize())
+		})
+		return
+	}
+	s.serveCached(w, r, "/v1/sweep", req.canonical(), func(ctx context.Context) (any, error) {
+		summary, comps, err := sweep.Run(ctx, materialize())
+		if err != nil {
+			return nil, err
+		}
+		return sweepResponse{Summary: summary, Comparisons: comps}, nil
+	})
+}
+
+// runtimeResponse is the body of POST /v1/runtime: RuntimeResult marshaled
+// as-is plus its two derived figures of merit.
+type runtimeResponse struct {
+	Result     ulba.RuntimeResult `json:"result"`
+	Gain       float64            `json:"gain"`
+	Efficiency float64            `json:"efficiency"`
+}
+
+func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
+	var req runtimeRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	exp, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, "/v1/runtime", req.canonical(), func(ctx context.Context) (any, error) {
+		res, err := exp.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return runtimeResponse{Result: res, Gain: res.Gain(), Efficiency: res.Efficiency()}, nil
+	})
+}
+
+// runtimeSweepResponse is the body of a non-streamed POST /v1/runtime-sweep:
+// exactly RuntimeSweep.Run's summary and input-ordered results.
+type runtimeSweepResponse struct {
+	Summary ulba.RuntimeSweepSummary `json:"summary"`
+	Results []ulba.RuntimeResult     `json:"results"`
+}
+
+func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
+	var req runtimeSweepRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sweep, n, materialize, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Stream {
+		exps, err := materialize()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		streamRuntimeSweep(w, r, s, n, func(ctx context.Context) <-chan ulba.RuntimeSweepResult {
+			return sweep.Stream(ctx, exps)
+		})
+		return
+	}
+	s.serveCached(w, r, "/v1/runtime-sweep", req.canonical(), func(ctx context.Context) (any, error) {
+		exps, err := materialize()
+		if err != nil {
+			return nil, err
+		}
+		summary, results, err := sweep.Run(ctx, exps)
+		if err != nil {
+			return nil, err
+		}
+		return runtimeSweepResponse{Summary: summary, Results: results}, nil
+	})
+}

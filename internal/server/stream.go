@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ulba"
+)
+
+// NDJSON streaming over the engines' Stream machinery. The contract,
+// shared by both sweep endpoints:
+//
+//   - Content-Type is application/x-ndjson; each line is one JSON object,
+//     flushed as soon as the engine delivers the result, in completion
+//     order. The index field restores input order.
+//   - A per-item failure becomes an {"index": i, "error": "..."} line; the
+//     stream keeps going, unlike the unary endpoints' lowest-index abort.
+//   - The terminal line carries the input-order aggregate — bit-identical
+//     to the unary endpoint's summary — when every item succeeded, or an
+//     {"error": "..."} count when some failed.
+//
+// Streaming responses bypass the result cache: their line order depends on
+// completion order, so the body is not a deterministic function of the
+// request (only the set of lines and the terminal summary are).
+
+// sweepStreamLine is one per-instance line of a streamed /v1/sweep.
+type sweepStreamLine struct {
+	Index      int              `json:"index"`
+	Comparison *ulba.Comparison `json:"comparison,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// sweepStreamTail terminates a streamed /v1/sweep.
+type sweepStreamTail struct {
+	Summary *ulba.SweepSummary `json:"summary,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// runtimeStreamLine is one per-scenario line of a streamed /v1/runtime-sweep.
+type runtimeStreamLine struct {
+	Index  int                 `json:"index"`
+	Result *ulba.RuntimeResult `json:"result,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+// runtimeStreamTail terminates a streamed /v1/runtime-sweep.
+type runtimeStreamTail struct {
+	Summary *ulba.RuntimeSweepSummary `json:"summary,omitempty"`
+	Error   string                    `json:"error,omitempty"`
+}
+
+// ndjsonWriter emits one JSON line per Write and flushes it immediately, so
+// a consumer sees each result the moment the engine completes it.
+type ndjsonWriter struct {
+	w     http.ResponseWriter
+	flush http.Flusher
+	enc   *json.Encoder
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Ulba-Cache", "bypass")
+	flush, _ := w.(http.Flusher)
+	return &ndjsonWriter{w: w, flush: flush, enc: json.NewEncoder(w)}
+}
+
+func (nw *ndjsonWriter) line(v any) {
+	nw.enc.Encode(v)
+	if nw.flush != nil {
+		nw.flush.Flush()
+	}
+}
+
+// streamResults is the shared driver of both streaming endpoints: one
+// engine slot for the whole stream, then the per-line contract above. The
+// per-endpoint shape is injected: examine splits an engine result into
+// (index, value, error), line renders one NDJSON line (value nil on a
+// per-item error), and summarize aggregates the collected values for the
+// terminal line.
+func streamResults[R, V any](w http.ResponseWriter, r *http.Request, s *Server, n int,
+	open func(ctx context.Context) <-chan R,
+	examine func(R) (index int, value V, err error),
+	line func(index int, value *V, errMsg string) any,
+	summarize func(values []V) any,
+) {
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	defer s.release()
+	s.engineRuns.Add(1)
+
+	nw := newNDJSONWriter(w)
+	values := make([]V, n)
+	delivered, failed := 0, 0
+	for res := range open(ctx) {
+		delivered++
+		idx, v, err := examine(res)
+		if err != nil {
+			failed++
+			nw.line(line(idx, nil, err.Error()))
+			continue
+		}
+		values[idx] = v
+		nw.line(line(idx, &v, ""))
+	}
+	nw.line(streamTail(ctx, n, delivered, failed, func() any { return summarize(values) }))
+}
+
+// streamSweep drives a streamed /v1/sweep.
+func streamSweep(w http.ResponseWriter, r *http.Request, s *Server, n int, open func(ctx context.Context) <-chan ulba.SweepResult) {
+	streamResults(w, r, s, n, open,
+		func(res ulba.SweepResult) (int, ulba.Comparison, error) { return res.Index, res.Comparison, res.Err },
+		func(idx int, v *ulba.Comparison, errMsg string) any {
+			return sweepStreamLine{Index: idx, Comparison: v, Error: errMsg}
+		},
+		func(comps []ulba.Comparison) any {
+			sum := ulba.SummarizeSweep(comps)
+			return sweepStreamTail{Summary: &sum}
+		})
+}
+
+// streamRuntimeSweep drives a streamed /v1/runtime-sweep.
+func streamRuntimeSweep(w http.ResponseWriter, r *http.Request, s *Server, n int, open func(ctx context.Context) <-chan ulba.RuntimeSweepResult) {
+	streamResults(w, r, s, n, open,
+		func(res ulba.RuntimeSweepResult) (int, ulba.RuntimeResult, error) {
+			return res.Index, res.Result, res.Err
+		},
+		func(idx int, v *ulba.RuntimeResult, errMsg string) any {
+			return runtimeStreamLine{Index: idx, Result: v, Error: errMsg}
+		},
+		func(results []ulba.RuntimeResult) any {
+			sum := ulba.SummarizeRuntimeSweep(results)
+			return runtimeStreamTail{Summary: &sum}
+		})
+}
+
+// streamTail picks the terminal line: the input-order summary on full
+// success, an error count otherwise. summarize runs only when every item
+// landed, so a partial stream can never masquerade as a complete one.
+func streamTail(ctx context.Context, n, delivered, failed int, summarize func() any) any {
+	switch {
+	case failed > 0:
+		return errTail(ctx, "%d of %d items failed", failed, n)
+	case delivered < n:
+		return errTail(ctx, "stream delivered %d of %d items", delivered, n)
+	default:
+		return summarize()
+	}
+}
+
+type errorTail struct {
+	Error string `json:"error"`
+}
+
+func errTail(ctx context.Context, format string, args ...any) errorTail {
+	if err := ctx.Err(); err != nil {
+		return errorTail{Error: err.Error()}
+	}
+	return errorTail{Error: fmt.Sprintf(format, args...)}
+}

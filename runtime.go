@@ -345,6 +345,14 @@ func (s *RuntimeSweep) Run(ctx context.Context, exps []*RuntimeExperiment) (Runt
 	return summarizeRuntimeSweep(out), out, nil
 }
 
+// SummarizeRuntimeSweep aggregates scenario results in slice order into the
+// same RuntimeSweepSummary Run reports for that result set — the runtime
+// counterpart of SummarizeSweep, for Stream consumers that collect results
+// themselves.
+func SummarizeRuntimeSweep(results []RuntimeResult) RuntimeSweepSummary {
+	return summarizeRuntimeSweep(results)
+}
+
 // summarizeRuntimeSweep aggregates scenario results in slice order.
 func summarizeRuntimeSweep(results []RuntimeResult) RuntimeSweepSummary {
 	sum := RuntimeSweepSummary{Scenarios: len(results)}

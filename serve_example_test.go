@@ -1,0 +1,60 @@
+package ulba_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"ulba"
+	"ulba/internal/server"
+)
+
+// Example_server runs the HTTP service layer in-process and drives one
+// cached sweep through it: the first request computes, the identical
+// second request is served from the deterministic result cache with
+// bit-identical bytes. cmd/ulba-serve wraps the same handler into a
+// deployable binary; see API.md for the full endpoint reference.
+func Example_server() {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	const req = `{"sample": {"seed": 2019, "n": 100}, "alpha_grid": 21}`
+	post := func() (cache string, body []byte, err error) {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+		if err != nil {
+			return "", nil, err
+		}
+		defer resp.Body.Close()
+		body, err = io.ReadAll(resp.Body)
+		return resp.Header.Get("X-Ulba-Cache"), body, err
+	}
+
+	cache1, body1, err1 := post()
+	cache2, body2, err2 := post()
+	if err1 != nil || err2 != nil {
+		fmt.Println("error:", err1, err2)
+		return
+	}
+
+	var decoded struct {
+		Summary ulba.SweepSummary `json:"summary"`
+	}
+	if err := json.Unmarshal(body1, &decoded); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("first request:", cache1)
+	fmt.Println("second request:", cache2)
+	fmt.Println("identical bytes:", string(body1) == string(body2))
+	fmt.Println("instances evaluated:", decoded.Summary.Instances)
+	fmt.Println("ULBA never loses:", decoded.Summary.Gains.Min >= 0)
+	// Output:
+	// first request: miss
+	// second request: hit
+	// identical bytes: true
+	// instances evaluated: 100
+	// ULBA never loses: true
+}

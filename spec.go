@@ -1,0 +1,155 @@
+package ulba
+
+import "fmt"
+
+// The spec types are the wire-format counterpart of the functional options:
+// plain data structs (JSON-taggable, comparable where possible) that name a
+// registered policy and carry its configuration knobs, resolved into live
+// Planner / Trigger / Workload values on demand. They are what lets a
+// config-driven frontend — the HTTP service (internal/server), a CLI flag
+// set, a stored experiment description — construct the same engines the
+// in-process builders do, from nothing but serializable data.
+
+// PlannerSpec names a registered planner together with its configuration
+// knobs. The zero knobs keep the registry defaults (periodic: every 10,
+// anneal: 20000 proposals at seed 0).
+type PlannerSpec struct {
+	// Name is the planner's registry key (see PlannerNames).
+	Name string `json:"name"`
+	// Every overrides the interval of the periodic planner. Setting it
+	// on any other planner is an error: the knob would be silently dead.
+	Every int `json:"every,omitempty"`
+	// AnnealSteps overrides the proposal budget of the annealing planner.
+	// Like Every, it is rejected on planners without that knob.
+	AnnealSteps int `json:"anneal_steps,omitempty"`
+	// AnnealSeed sets the annealing planner's search seed.
+	AnnealSeed uint64 `json:"anneal_seed,omitempty"`
+}
+
+// Planner resolves the spec against the planner registry and applies its
+// knobs. Knobs that the named planner does not have are an error, so a
+// misdirected configuration cannot silently evaluate the wrong policy.
+func (sp PlannerSpec) Planner() (Planner, error) {
+	pl, err := NewPlanner(sp.Name)
+	if err != nil {
+		return nil, err
+	}
+	switch p := pl.(type) {
+	case PeriodicPlanner:
+		if sp.AnnealSteps != 0 || sp.AnnealSeed != 0 {
+			return nil, fmt.Errorf("ulba: planner %q has no annealing knobs", sp.Name)
+		}
+		if sp.Every > 0 {
+			p.Every = sp.Every
+		} else if sp.Every < 0 {
+			return nil, fmt.Errorf("ulba: planner %q needs every > 0, got %d", sp.Name, sp.Every)
+		}
+		return p, nil
+	case AnnealPlanner:
+		if sp.Every != 0 {
+			return nil, fmt.Errorf("ulba: planner %q has no every knob", sp.Name)
+		}
+		if sp.AnnealSteps < 0 {
+			return nil, fmt.Errorf("ulba: planner %q needs anneal_steps > 0, got %d", sp.Name, sp.AnnealSteps)
+		}
+		p.Steps = sp.AnnealSteps
+		p.Seed = sp.AnnealSeed
+		return p, nil
+	}
+	if sp.Every != 0 || sp.AnnealSteps != 0 || sp.AnnealSeed != 0 {
+		return nil, fmt.Errorf("ulba: planner %q takes no configuration knobs", sp.Name)
+	}
+	return pl, nil
+}
+
+// TriggerSpec names a registered trigger together with its configuration
+// knobs. The zero knobs keep the registry defaults (periodic: every 10).
+type TriggerSpec struct {
+	// Name is the trigger's registry key (see TriggerNames).
+	Name string `json:"name"`
+	// Every overrides the interval of the periodic trigger. Setting it
+	// on any other trigger is an error.
+	Every int `json:"every,omitempty"`
+}
+
+// Trigger resolves the spec against the trigger registry and applies its
+// knobs, rejecting knobs the named trigger does not have.
+func (sp TriggerSpec) Trigger() (Trigger, error) {
+	t, err := NewTrigger(sp.Name)
+	if err != nil {
+		return nil, err
+	}
+	if pt, ok := t.(PeriodicTrigger); ok {
+		if sp.Every > 0 {
+			pt.Every = sp.Every
+		} else if sp.Every < 0 {
+			return nil, fmt.Errorf("ulba: trigger %q needs every > 0, got %d", sp.Name, sp.Every)
+		}
+		return pt, nil
+	}
+	if sp.Every != 0 {
+		return nil, fmt.Errorf("ulba: trigger %q takes no every knob", sp.Name)
+	}
+	return t, nil
+}
+
+// WorkloadSpec names a registered workload together with the knobs shared
+// across the generator family. The zero knobs keep each generator's
+// documented defaults.
+type WorkloadSpec struct {
+	// Name is the workload's registry key (see WorkloadNames).
+	Name string `json:"name"`
+	// Seed re-seeds the generator workloads. The trace workload has no
+	// seed; setting one there is an error.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rows replaces the trace workload's recording with an inline weight
+	// matrix (one row per iteration, one column per item) — the wire
+	// equivalent of LoadTraceWorkload. It is rejected on any other
+	// workload.
+	Rows [][]float64 `json:"rows,omitempty"`
+}
+
+// Workload resolves the spec against the workload registry and applies its
+// knobs, rejecting knobs the named workload does not have.
+func (sp WorkloadSpec) Workload() (Workload, error) {
+	w, err := NewWorkload(sp.Name)
+	if err != nil {
+		return nil, err
+	}
+	if len(sp.Rows) > 0 {
+		if _, ok := w.(TraceWorkload); !ok {
+			return nil, fmt.Errorf("ulba: workload %q takes no rows; only the trace workload replays a matrix", sp.Name)
+		}
+		if sp.Seed != 0 {
+			return nil, fmt.Errorf("ulba: the trace workload has no seed knob")
+		}
+		return TraceWorkload{Rows: sp.Rows}, nil
+	}
+	switch wl := w.(type) {
+	case StationaryWorkload:
+		wl.Seed = sp.Seed
+		return wl, nil
+	case LinearWorkload:
+		wl.Seed = sp.Seed
+		return wl, nil
+	case ExponentialWorkload:
+		wl.Seed = sp.Seed
+		return wl, nil
+	case BurstyWorkload:
+		wl.Seed = sp.Seed
+		return wl, nil
+	case OutlierWorkload:
+		wl.Seed = sp.Seed
+		return wl, nil
+	case TraceWorkload:
+		if sp.Seed != 0 {
+			return nil, fmt.Errorf("ulba: the trace workload has no seed knob")
+		}
+		return wl, nil
+	default:
+		if sp.Seed != 0 {
+			return nil, fmt.Errorf("ulba: workload %q takes no seed knob", sp.Name)
+		}
+		return w, nil
+	}
+}

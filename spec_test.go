@@ -1,0 +1,152 @@
+package ulba_test
+
+import (
+	"strings"
+	"testing"
+
+	"ulba"
+)
+
+func TestPlannerSpec(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    ulba.PlannerSpec
+		want    ulba.Planner // nil means an error is expected
+		errPart string
+	}{
+		{"default sigma+", ulba.PlannerSpec{Name: "sigma+"}, ulba.SigmaPlusPlanner{}, ""},
+		{"default menon", ulba.PlannerSpec{Name: "menon"}, ulba.MenonPlanner{}, ""},
+		{"periodic default", ulba.PlannerSpec{Name: "periodic"}, ulba.PeriodicPlanner{Every: 10}, ""},
+		{"periodic every", ulba.PlannerSpec{Name: "periodic", Every: 7}, ulba.PeriodicPlanner{Every: 7}, ""},
+		{"anneal configured", ulba.PlannerSpec{Name: "anneal", AnnealSteps: 500, AnnealSeed: 3},
+			ulba.AnnealPlanner{Steps: 500, Seed: 3}, ""},
+		{"unknown name", ulba.PlannerSpec{Name: "nope"}, nil, "unknown planner"},
+		{"every on sigma+", ulba.PlannerSpec{Name: "sigma+", Every: 5}, nil, "no configuration knobs"},
+		{"anneal knobs on periodic", ulba.PlannerSpec{Name: "periodic", AnnealSteps: 5}, nil, "no annealing knobs"},
+		{"every on anneal", ulba.PlannerSpec{Name: "anneal", Every: 5}, nil, "no every knob"},
+		{"negative every", ulba.PlannerSpec{Name: "periodic", Every: -1}, nil, "every > 0"},
+		{"negative anneal steps", ulba.PlannerSpec{Name: "anneal", AnnealSteps: -1}, nil, "anneal_steps > 0"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.spec.Planner()
+			if c.want == nil {
+				if err == nil || !strings.Contains(err.Error(), c.errPart) {
+					t.Fatalf("err = %v, want mention of %q", err, c.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("Planner() = %#v, want %#v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestTriggerSpec(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    ulba.TriggerSpec
+		want    ulba.Trigger
+		errPart string
+	}{
+		{"degradation", ulba.TriggerSpec{Name: "degradation"}, ulba.DegradationTrigger{}, ""},
+		{"periodic every", ulba.TriggerSpec{Name: "periodic", Every: 4}, ulba.PeriodicTrigger{Every: 4}, ""},
+		{"never", ulba.TriggerSpec{Name: "never"}, ulba.NeverTrigger{}, ""},
+		{"unknown name", ulba.TriggerSpec{Name: "nope"}, nil, "unknown trigger"},
+		{"every on menon", ulba.TriggerSpec{Name: "menon", Every: 4}, nil, "no every knob"},
+		{"negative every", ulba.TriggerSpec{Name: "periodic", Every: -2}, nil, "every > 0"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.spec.Trigger()
+			if c.want == nil {
+				if err == nil || !strings.Contains(err.Error(), c.errPart) {
+					t.Fatalf("err = %v, want mention of %q", err, c.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("Trigger() = %#v, want %#v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestWorkloadSpec(t *testing.T) {
+	t.Run("seeds every generator", func(t *testing.T) {
+		for _, name := range []string{"stationary", "linear", "exponential", "bursty", "outlier"} {
+			w, err := ulba.WorkloadSpec{Name: name, Seed: 42}.Workload()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if w.Name() != name {
+				t.Errorf("workload %q resolved to %q", name, w.Name())
+			}
+			// The seed must land: instantiating the seeded and unseeded
+			// variants of the same generator must differ somewhere.
+			w0, err := ulba.WorkloadSpec{Name: name}.Workload()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w == w0 {
+				t.Errorf("workload %q ignored the seed", name)
+			}
+		}
+	})
+	t.Run("inline trace rows", func(t *testing.T) {
+		w, err := ulba.WorkloadSpec{Name: "trace", Rows: [][]float64{{1, 2}, {3, 4}}}.Workload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, weight, err := w.Instantiate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if items != 2 || weight(1, 1) != 4 {
+			t.Errorf("inline trace not replayed: items=%d w(1,1)=%g", items, weight(1, 1))
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		cases := []struct {
+			name    string
+			spec    ulba.WorkloadSpec
+			errPart string
+		}{
+			{"unknown name", ulba.WorkloadSpec{Name: "nope"}, "unknown workload"},
+			{"rows on generator", ulba.WorkloadSpec{Name: "linear", Rows: [][]float64{{1}}}, "takes no rows"},
+			{"seed on trace", ulba.WorkloadSpec{Name: "trace", Seed: 1}, "no seed knob"},
+			{"seed and rows on trace", ulba.WorkloadSpec{Name: "trace", Seed: 1, Rows: [][]float64{{1}}}, "no seed knob"},
+		}
+		for _, c := range cases {
+			if _, err := c.spec.Workload(); err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.errPart)
+			}
+		}
+	})
+}
+
+// TestSummarizeSweepMatchesRun pins the exported aggregation helpers to the
+// engines' own summaries.
+func TestSummarizeSweepMatchesRun(t *testing.T) {
+	sweep, err := ulba.NewSweep(ulba.WithAlphaGrid(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, comps, err := sweep.Run(t.Context(), ulba.SampleInstances(21, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ulba.SummarizeSweep(comps); got != summary {
+		t.Errorf("SummarizeSweep = %+v, want Run's %+v", got, summary)
+	}
+	if got := ulba.SummarizeSweep(nil); got.Instances != 0 {
+		t.Errorf("SummarizeSweep(nil) = %+v, want zero instances", got)
+	}
+}

@@ -280,6 +280,13 @@ func collectIndexed[R any](ctx context.Context, cancel context.CancelFunc, resul
 	return nil
 }
 
+// SummarizeSweep aggregates comparisons in slice order into the same
+// SweepSummary Run reports for that result set. It is the aggregation half
+// of Run made standalone for Stream consumers (including the HTTP service's
+// NDJSON streaming), which collect per-instance results themselves and
+// still want the deterministic input-order summary.
+func SummarizeSweep(comps []Comparison) SweepSummary { return summarizeSweep(comps) }
+
 // summarizeSweep aggregates comparisons in slice order.
 func summarizeSweep(comps []Comparison) SweepSummary {
 	sum := SweepSummary{Instances: len(comps)}
