@@ -37,6 +37,7 @@ import (
 
 	"ulba"
 	"ulba/internal/cli"
+	"ulba/internal/jobs"
 	"ulba/internal/schedule"
 	"ulba/internal/server"
 )
@@ -88,6 +89,33 @@ type benchRecord struct {
 
 	Runtime *runtimeRecord `json:"runtime,omitempty"`
 	Server  *serverRecord  `json:"server,omitempty"`
+	Jobs    *jobsRecord    `json:"jobs,omitempty"`
+}
+
+// jobsRecord is the async entry of the trajectory: the job subsystem
+// (internal/jobs + the /v1/jobs endpoints) under a pinned submission mix
+// against a store-backed server, then the same mix resubmitted after a
+// simulated restart — measuring both cold job throughput and the
+// persistent store's serve-without-recompute rate. ResponseSHA256 hashes
+// the first job's result body and must equal the synchronous path's hash
+// for the same request family: async results are bit-identical by
+// contract.
+type jobsRecord struct {
+	Jobs            int     `json:"jobs"`
+	Distinct        int     `json:"distinct"`
+	InstancesPerJob int     `json:"instances_per_job"`
+	Seconds         float64 `json:"seconds"`
+	JobsPerSec      float64 `json:"jobs_per_sec"`
+	EngineRuns      uint64  `json:"engine_runs"`
+
+	// The restart leg: a fresh server over the same store directory,
+	// identical submissions. RestartEngineRuns is 0 when persistence works.
+	RestartSeconds    float64 `json:"restart_seconds"`
+	RestartEngineRuns uint64  `json:"restart_engine_runs"`
+
+	StoreEntries   int    `json:"store_entries"`
+	StoreBytes     int64  `json:"store_bytes"`
+	ResponseSHA256 string `json:"response_sha256"`
 }
 
 // serverRecord is the service-layer entry of the trajectory: the HTTP
@@ -142,10 +170,11 @@ func main() {
 		noSlow     = flag.Bool("noslow", false, "skip the slow-path baseline (no speedup field)")
 		scenarios  = flag.Int("runtime-scenarios", 24, "pinned runtime-sweep scenarios (0 skips the runtime entry)")
 		serverReqs = flag.Int("server-requests", 64, "pinned HTTP sweep requests against an in-process ulba-serve (0 skips the server entry)")
+		jobReqs    = flag.Int("job-requests", 32, "pinned async job submissions against a store-backed ulba-serve (0 skips the jobs entry)")
 		out        = flag.String("out", "BENCH_sweep.json", "output file; - for stdout")
 	)
 	flag.Parse()
-	instancesSet, scenariosSet, serverReqsSet := false, false, false
+	instancesSet, scenariosSet, serverReqsSet, jobReqsSet := false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "instances":
@@ -154,6 +183,8 @@ func main() {
 			scenariosSet = true
 		case "server-requests":
 			serverReqsSet = true
+		case "job-requests":
+			jobReqsSet = true
 		}
 	})
 	if *short && !instancesSet {
@@ -164,6 +195,9 @@ func main() {
 	}
 	if *short && !serverReqsSet {
 		*serverReqs = 32
+	}
+	if *short && !jobReqsSet {
+		*jobReqs = 16
 	}
 	if *instances <= 0 {
 		fatal(fmt.Sprintf("-instances must be positive, got %d", *instances))
@@ -261,6 +295,14 @@ func main() {
 		rec.Server = sr
 	}
 
+	if *jobReqs > 0 {
+		jr, err := measureJobs(*jobReqs, *seed)
+		if err != nil {
+			fatal("jobs:", err)
+		}
+		rec.Jobs = jr
+	}
+
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -290,6 +332,158 @@ func main() {
 			rec.Server.Requests, rec.Server.Distinct, rec.Server.Clients, rec.Server.RequestsPerSec,
 			rec.Server.CacheHits, rec.Server.SingleFlightJoins, rec.Server.EngineRuns)
 	}
+	if rec.Jobs != nil {
+		fmt.Fprintf(os.Stderr, "jobs: %d submissions (%d distinct): %.1f jobs/sec cold (%d engine runs), resubmit after restart %.0f ms (%d engine runs)\n",
+			rec.Jobs.Jobs, rec.Jobs.Distinct, rec.Jobs.JobsPerSec, rec.Jobs.EngineRuns,
+			rec.Jobs.RestartSeconds*1000, rec.Jobs.RestartEngineRuns)
+	}
+}
+
+// measureJobs drives the asynchronous surface end to end over a real TCP
+// listener: a pinned mix of sweep job submissions (distinct bodies cycled,
+// so dedup matters) against a store-backed server, polled to completion;
+// then a fresh server over the same store directory replays the identical
+// submissions — the restart leg, which persistence must serve with zero
+// engine runs. Every repeated body is verified bit-identical before the
+// first one's hash goes on the record.
+func measureJobs(count int, seed uint64) (*jobsRecord, error) {
+	const (
+		distinct        = 4
+		instancesPerJob = 200
+	)
+	dir, err := os.MkdirTemp("", "ulba-bench-jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	body := func(i int) string {
+		return fmt.Sprintf(`{"type":"sweep","request":{"sample":{"seed":%d,"n":%d},"alpha_grid":50}}`,
+			seed+uint64(i%distinct), instancesPerJob)
+	}
+
+	// runMix boots a server over dir, submits every job, polls them all to
+	// completion, and returns the result bodies with the elapsed time and
+	// the engine-run counter.
+	runMix := func() (bodies [][]byte, seconds float64, engineRuns uint64, storeEntries int, storeBytes int64, err error) {
+		store, err := jobs.Open(dir)
+		if err != nil {
+			return nil, 0, 0, 0, 0, err
+		}
+		srv := server.New(server.Config{Store: store})
+		defer srv.Close(context.Background())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, 0, 0, 0, 0, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		defer httpSrv.Close()
+		go httpSrv.Serve(ln)
+		base := "http://" + ln.Addr().String()
+
+		start := time.Now()
+		ids := make([]string, count)
+		for i := range ids {
+			resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body(i)))
+			if err != nil {
+				return nil, 0, 0, 0, 0, err
+			}
+			var st struct {
+				ID string `json:"id"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil || st.ID == "" {
+				return nil, 0, 0, 0, 0, fmt.Errorf("job submission %d: %v", i, err)
+			}
+			ids[i] = st.ID
+		}
+		for _, id := range ids {
+			for {
+				resp, err := http.Get(base + "/v1/jobs/" + id)
+				if err != nil {
+					return nil, 0, 0, 0, 0, err
+				}
+				var st struct {
+					State string `json:"state"`
+					Error string `json:"error"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					return nil, 0, 0, 0, 0, err
+				}
+				if st.State == "done" {
+					break
+				}
+				if st.State == "failed" || st.State == "cancelled" {
+					return nil, 0, 0, 0, 0, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		bodies = make([][]byte, count)
+		for i, id := range ids {
+			resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				return nil, 0, 0, 0, 0, err
+			}
+			buf, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, 0, 0, 0, 0, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, 0, 0, 0, 0, fmt.Errorf("job %s result: status %d: %s", id, resp.StatusCode, buf)
+			}
+			bodies[i] = buf
+		}
+		seconds = time.Since(start).Seconds()
+		stats := srv.Stats()
+		storeEntries, storeBytes = 0, 0
+		if stats.Store != nil {
+			storeEntries, storeBytes = stats.Store.Entries, stats.Store.Bytes
+		}
+		return bodies, seconds, stats.EngineRuns, storeEntries, storeBytes, nil
+	}
+
+	cold, coldSecs, coldRuns, _, _, err := runMix()
+	if err != nil {
+		return nil, err
+	}
+	warm, warmSecs, warmRuns, entries, bytesOnDisk, err := runMix()
+	if err != nil {
+		return nil, err
+	}
+
+	// Determinism check across jobs and across the restart: every body of
+	// a distinct family must be bit-identical to its first occurrence.
+	first := make(map[int][]byte, distinct)
+	for i := 0; i < count; i++ {
+		d := i % distinct
+		if prev, ok := first[d]; !ok {
+			first[d] = cold[i]
+		} else if !bytes.Equal(prev, cold[i]) {
+			return nil, fmt.Errorf("job %d served different bytes than an identical earlier job", i)
+		}
+		if !bytes.Equal(first[d], warm[i]) {
+			return nil, fmt.Errorf("post-restart job %d served different bytes than before the restart", i)
+		}
+	}
+
+	return &jobsRecord{
+		Jobs:              count,
+		Distinct:          min(distinct, count),
+		InstancesPerJob:   instancesPerJob,
+		Seconds:           coldSecs,
+		JobsPerSec:        float64(count) / coldSecs,
+		EngineRuns:        coldRuns,
+		RestartSeconds:    warmSecs,
+		RestartEngineRuns: warmRuns,
+		StoreEntries:      entries,
+		StoreBytes:        bytesOnDisk,
+		ResponseSHA256:    fmt.Sprintf("%x", sha256.Sum256(first[0])),
+	}, nil
 }
 
 // measureServer drives an in-process ulba-serve over a real TCP listener

@@ -1,18 +1,25 @@
 // Command ulba-serve exposes the four engines of package ulba — Experiment,
 // Sweep, RuntimeExperiment, RuntimeSweep — as an HTTP/JSON service with a
-// deterministic, content-addressed result cache and single-flight
-// deduplication of concurrent identical requests (see internal/server and
+// deterministic, content-addressed result cache, single-flight
+// deduplication of concurrent identical requests, an asynchronous job queue
+// (POST /v1/jobs: submit now, poll/stream/fetch later), and an optional
+// persistent result store that survives restarts (see internal/server and
 // API.md for the endpoint reference).
 //
-//	ulba-serve                         # listen on :8383
+//	ulba-serve                         # listen on :8383, results in memory
 //	ulba-serve -addr 127.0.0.1:0      # ephemeral port, printed on startup
+//	ulba-serve -store-dir /var/lib/ulba   # persist results + job checkpoints
 //	curl localhost:8383/v1/registries
 //	curl -d '{"sample":{"seed":2019,"n":100}}' localhost:8383/v1/sweep
-//	curl -d '{"sample":{"seed":1,"n":8},"stream":true}' localhost:8383/v1/runtime-sweep
+//	curl -d '{"type":"sweep","request":{"sample":{"seed":2019,"n":100000}}}' \
+//	     localhost:8383/v1/jobs        # async: returns a job id immediately
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener closes,
-// in-flight requests get -shutdown-timeout to finish (their contexts are
-// cancelled when it expires), and the exit is clean.
+// in-flight requests and running jobs get -shutdown-timeout to finish
+// (their contexts are cancelled when it expires), and the exit is clean.
+// With -store-dir, interrupted sweep jobs leave their per-instance
+// checkpoints on disk, so resubmitting the identical request after a
+// restart resumes instead of recomputing.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"ulba/internal/jobs"
 	"ulba/internal/server"
 )
 
@@ -38,7 +46,10 @@ func main() {
 		cacheMB         = flag.Int64("cache-mb", 64, "result-cache budget in MiB; 0 disables storage (single-flight dedup stays on)")
 		maxConcurrent   = flag.Int("max-concurrent", 0, "max requests running engine work at once; <= 0 selects GOMAXPROCS")
 		maxBodyMB       = flag.Int64("max-body-mb", 32, "request-body size limit in MiB")
-		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		storeDir        = flag.String("store-dir", "", "directory for the persistent result store and job checkpoints; empty keeps results in memory only")
+		jobWorkers      = flag.Int("job-workers", 0, "max jobs running concurrently; <= 0 selects GOMAXPROCS")
+		jobRetention    = flag.Duration("job-retention", time.Hour, "how long finished jobs stay listable; 0 keeps them forever")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests and running jobs on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -46,11 +57,25 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // Config: negative disables, 0 means default
 	}
-	srv := server.New(server.Config{
+	retention := *jobRetention
+	if retention <= 0 {
+		retention = -1 // Config: negative keeps forever, 0 means default
+	}
+	cfg := server.Config{
 		CacheBytes:    cacheBytes,
 		MaxConcurrent: *maxConcurrent,
 		MaxBodyBytes:  *maxBodyMB << 20,
-	})
+		JobWorkers:    *jobWorkers,
+		JobRetention:  retention,
+	}
+	if *storeDir != "" {
+		store, err := jobs.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("ulba-serve: %v", err)
+		}
+		cfg.Store = store
+	}
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -64,6 +89,10 @@ func main() {
 	// clients parse the address from it (port 0 binds an ephemeral port).
 	fmt.Printf("ulba-serve listening on %s (cache %d MiB, %d concurrent engine requests)\n",
 		ln.Addr(), *cacheMB, workers)
+	if st := srv.Stats().Store; st != nil {
+		fmt.Printf("ulba-serve store %s: %d results (%d bytes) on disk, %d warm-loaded into the cache\n",
+			*storeDir, st.Entries, st.Bytes, st.Seeded)
+	}
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -83,13 +112,24 @@ func main() {
 	}
 	stop()
 
+	// One grace period covers both halves of the drain: in-flight HTTP
+	// requests first, then running jobs — whose checkpoints are already on
+	// disk, so even a forced cancellation loses no completed instance.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
+	clean := true
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		// The grace period expired: cancel the stragglers' contexts and
 		// close their connections rather than hanging forever.
 		httpSrv.Close()
-		log.Printf("ulba-serve: forced shutdown after %s: %v", *shutdownTimeout, err)
+		log.Printf("ulba-serve: forced connection shutdown after %s: %v", *shutdownTimeout, err)
+		clean = false
+	}
+	if err := srv.Close(shutdownCtx); err != nil {
+		log.Printf("ulba-serve: forced job shutdown: %v", err)
+		clean = false
+	}
+	if !clean {
 		os.Exit(1)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,6 +1,7 @@
 package ulba_test
 
 import (
+	"context"
 	"os"
 	"regexp"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"ulba"
+	"ulba/internal/server"
 )
 
 // TestDesignTablesMatchRegistries parses the policy tables of DESIGN.md and
@@ -44,5 +46,56 @@ func TestDesignTablesMatchRegistries(t *testing.T) {
 		if strings.Join(docs, ",") != strings.Join(registered, ",") {
 			t.Errorf("%s registry %v does not match the DESIGN.md table %v", kind, registered, docs)
 		}
+	}
+}
+
+// TestEndpointDocsMatchRoutes pins the HTTP documentation to the routes the
+// server actually registers (server.Routes is recorded at registration
+// time, so it cannot lie): every registered route must appear as a
+// backticked `METHOD /path` row in DESIGN.md's endpoint table and as a
+// `## METHOD /path` section heading in API.md, and neither document may
+// describe an endpoint that does not exist. Adding or removing a route
+// without the docs pass fails here.
+func TestEndpointDocsMatchRoutes(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close(context.Background())
+	registered := srv.Routes()
+	sort.Strings(registered)
+
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `((?:GET|POST|PUT|DELETE|PATCH) [^`]+)`")
+	var tabled []string
+	for _, line := range strings.Split(string(design), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			tabled = append(tabled, m[1])
+		}
+	}
+	sort.Strings(tabled)
+	if strings.Join(tabled, "\n") != strings.Join(registered, "\n") {
+		t.Errorf("DESIGN.md endpoint table %v does not match the registered routes %v", tabled, registered)
+	}
+
+	api, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	headings := map[string]bool{}
+	heading := regexp.MustCompile(`^## ((?:GET|POST|PUT|DELETE|PATCH) /\S+)$`)
+	for _, line := range strings.Split(string(api), "\n") {
+		if m := heading.FindStringSubmatch(line); m != nil {
+			headings[m[1]] = true
+		}
+	}
+	for _, route := range registered {
+		if !headings[route] {
+			t.Errorf("API.md has no `## %s` section for the registered route", route)
+		}
+		delete(headings, route)
+	}
+	for stale := range headings {
+		t.Errorf("API.md documents %q, which is not a registered route", stale)
 	}
 }

@@ -71,15 +71,35 @@
 // # Service layer
 //
 // internal/server and cmd/ulba-serve put the four engines behind an
-// HTTP/JSON service: POST /v1/experiment, /v1/sweep, /v1/runtime, and
-// /v1/runtime-sweep map requests onto the builders through the spec types,
-// the sweep endpoints accept batched instance sets and stream NDJSON
-// results as they complete, and a deterministic content-addressed result
-// cache (LRU by byte budget, single-flight deduplication of concurrent
-// identical requests) serves repeated work without recomputing — sound
-// because every engine result is a pure function of its request. See
-// API.md for the HTTP reference and DESIGN.md ("Service layer") for the
-// cache-key, single-flight, and streaming contracts.
+// HTTP/JSON service. The synchronous endpoints — POST /v1/experiment,
+// /v1/sweep, /v1/runtime, /v1/runtime-sweep — map requests onto the
+// builders through the spec types, accept batched instance sets, and can
+// stream NDJSON results as they complete. A deterministic
+// content-addressed result cache (LRU by byte budget, single-flight
+// deduplication of concurrent identical requests) serves repeated work
+// without recomputing — sound because every engine result is a pure
+// function of its request.
+//
+// The /v1/jobs family (internal/jobs) is the asynchronous alternative for
+// work too large to hold a connection open: POST /v1/jobs submits any of
+// the four request types and returns a job id immediately; GET
+// /v1/jobs/{id} reports the queued/running/done/failed/cancelled state
+// machine with per-instance progress counters, GET /v1/jobs/{id}/stream
+// follows the as-completed NDJSON lines live, GET /v1/jobs/{id}/result
+// serves the final body — bit-identical to the synchronous endpoint's
+// response for the same request — and DELETE cancels. With a store
+// directory configured (ulba-serve -store-dir), rendered bodies persist in
+// an append-only content-addressed log that is replayed into the cache on
+// startup, so identical requests are served across restarts without
+// recomputation; running sweep jobs additionally checkpoint every
+// completed instance, so a server killed mid-job resumes — rather than
+// recomputes — when the identical request is resubmitted. Anticipation
+// applied to the serving layer itself: plan the work, survive the
+// interruption, never redo what is already known.
+//
+// See API.md for the HTTP reference (including the job state machine and
+// curl examples) and DESIGN.md ("Service layer") for the cache-key,
+// single-flight, streaming, and persistence/resume contracts.
 //
 // # Evaluation core
 //
@@ -104,8 +124,12 @@
 // bit-identical to the slow path, so enabling the optimization is
 // unobservable in results; and therefore a served response is bit-identical
 // to the in-process result, which is what makes the service's result cache
-// sound. Run cmd/ulba-bench to verify the fast/slow agreement and record
-// throughput (model sweep, runtime sweep, and served-request entries).
+// sound — and, extended across time, what makes the persistent store and
+// the job subsystem sound: an async job's result bytes equal the
+// synchronous response, and a checkpoint-resumed job's bytes equal an
+// uninterrupted run's. Run cmd/ulba-bench to verify the fast/slow
+// agreement and record throughput (model sweep, runtime sweep,
+// served-request, and async-job entries).
 //
 // Quick start:
 //

@@ -1,0 +1,39 @@
+package ulba_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks fails on broken intra-repo links in the documentation set:
+// every relative markdown link target (file, directory, or file#anchor)
+// must exist in the working tree. External links (http, mailto) and pure
+// anchors are out of scope. CI runs this in the docs job, so a renamed or
+// deleted file cannot silently orphan its references.
+func TestDocLinks(t *testing.T) {
+	docs := []string{"README.md", "API.md", "DESIGN.md", "REPRODUCE.md", "ROADMAP.md"}
+	link := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("documentation file %s is missing: %v", doc, err)
+			continue
+		}
+		for _, m := range link.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop an anchor suffix
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s links to %q, which does not exist", doc, m[1])
+			}
+		}
+	}
+}

@@ -16,6 +16,13 @@ import (
 // cached body is bit-identical to what a fresh computation would produce and
 // serving it is unobservable — except in latency and in the hit counters.
 type Cache struct {
+	// fallback, when non-nil, is consulted on a miss before compute runs —
+	// the hook the persistent result store (internal/jobs.Store) hangs off:
+	// an entry the LRU evicted is re-read from disk instead of recomputed.
+	// Set it before the cache serves traffic; it must be safe for
+	// concurrent use.
+	fallback func(key string) ([]byte, bool)
+
 	mu       sync.Mutex
 	budget   int64
 	used     int64
@@ -23,7 +30,7 @@ type Cache struct {
 	lru      list.List // front = most recently used; values are *cacheEntry
 	inflight map[string]*flight
 
-	hits, misses, joins, evictions uint64
+	hits, misses, joins, evictions, storeHits uint64
 }
 
 type cacheEntry struct {
@@ -51,6 +58,9 @@ const (
 	Miss Outcome = "miss"
 	// Join waited on a concurrent identical request's computation.
 	Join Outcome = "join"
+	// Store served a body from the persistent result store after the LRU
+	// had evicted (or never held) it — no engine work, one disk read.
+	Store Outcome = "store"
 )
 
 // NewCache builds a cache with the given byte budget. budget <= 0 stores
@@ -98,6 +108,25 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 		}
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
+		c.mu.Unlock()
+
+		// The persistent store is the second cache level: consult it under
+		// the flight (so concurrent identical requests share one disk read
+		// too) before paying for a computation.
+		if c.fallback != nil {
+			if body, ok := c.fallback(key); ok {
+				c.mu.Lock()
+				delete(c.inflight, key)
+				c.storeHits++
+				c.store(key, body)
+				c.mu.Unlock()
+				f.body = body
+				close(f.done)
+				return body, Store, nil
+			}
+		}
+
+		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
 
@@ -112,6 +141,27 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 		close(f.done)
 		return f.body, Miss, f.err
 	}
+}
+
+// Seed inserts a body without touching the outcome counters — the warm-load
+// path: at startup the server replays the persistent store into the cache so
+// results computed before a restart are hits, not recomputations. Unlike
+// store, Seed never evicts: it reports false once the body does not fit in
+// the remaining budget, telling the loader to stop (anything not seeded is
+// still reachable through the fallback).
+func (c *Cache) Seed(key string, body []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := entrySize(key, body)
+	if c.used+size > c.budget {
+		return false
+	}
+	if _, ok := c.entries[key]; ok {
+		return true
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+	c.used += size
+	return true
 }
 
 // store inserts a computed body, evicting least-recently-used entries until
@@ -153,6 +203,7 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Joins     uint64 `json:"single_flight_joins"`
+	StoreHits uint64 `json:"store_hits"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
@@ -167,6 +218,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Joins:     c.joins,
+		StoreHits: c.storeHits,
 		Evictions: c.evictions,
 		Entries:   len(c.entries),
 		Bytes:     c.used,

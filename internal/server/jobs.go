@@ -1,0 +1,501 @@
+// The asynchronous job surface: POST /v1/jobs accepts any of the four
+// engine request types and answers immediately with a job id; the job then
+// computes through the same content-addressed cache, store, and engine
+// semaphore as the synchronous endpoints, so a job's result bytes are
+// bit-identical to the synchronous response for the same request — the
+// determinism contract extended across time.
+//
+// Sweep-shaped jobs (sweep, runtime-sweep) feed per-instance progress from
+// the engines' Stream machinery and append every completed instance to the
+// store's checkpoint file for the job's key. The checkpoint lines are
+// exactly the NDJSON stream lines, so one format serves three purposes:
+// live progress events (GET /v1/jobs/{id}/stream), durable partial state
+// (a killed server resumes instead of recomputing), and the resume replay.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ulba"
+	"ulba/internal/jobs"
+)
+
+// jobSubmission is the body of POST /v1/jobs: an engine request wrapped
+// with its type. Request is the exact body the matching synchronous
+// endpoint accepts (stream/workers fields are ignored for the key, as
+// always).
+type jobSubmission struct {
+	Type    string          `json:"type"`
+	Request json.RawMessage `json:"request"`
+}
+
+// jobTask is a validated submission: the job's content address, its
+// declared unit count, the checkpointing runner, and the unary compute leg
+// (what GET .../result uses to rebuild a body that fell out of both cache
+// and store).
+type jobTask struct {
+	typ     string
+	key     string
+	total   int
+	compute func(ctx context.Context) (any, error)
+	run     jobs.RunFunc
+}
+
+// jobTypes lists the accepted submission types, mirroring the four
+// synchronous engine endpoints.
+const jobTypes = `"experiment", "sweep", "runtime", or "runtime-sweep"`
+
+// buildJobTask validates a submission into a runnable task. Validation
+// errors surface as 400s at submit time, never inside the job.
+func (s *Server) buildJobTask(sub jobSubmission) (jobTask, error) {
+	if len(sub.Request) == 0 {
+		return jobTask{}, fmt.Errorf("job submission needs a request object")
+	}
+	switch sub.Type {
+	case "experiment":
+		var req experimentRequest
+		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
+			return jobTask{}, err
+		}
+		exp, err := req.build()
+		if err != nil {
+			return jobTask{}, err
+		}
+		return s.unaryTask(sub.Type, "/v1/experiment", req.canonical(), 1, experimentCompute(exp, req.Compare))
+	case "runtime":
+		var req runtimeRequest
+		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
+			return jobTask{}, err
+		}
+		exp, err := req.build()
+		if err != nil {
+			return jobTask{}, err
+		}
+		return s.unaryTask(sub.Type, "/v1/runtime", req.canonical(), 1, runtimeCompute(exp))
+	case "sweep":
+		var req sweepRequest
+		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
+			return jobTask{}, err
+		}
+		sweep, n, materialize, err := req.build()
+		if err != nil {
+			return jobTask{}, err
+		}
+		key, err := cacheKey("/v1/sweep", req.canonical())
+		if err != nil {
+			return jobTask{}, err
+		}
+		task := jobTask{typ: sub.Type, key: key, total: n, compute: sweepCompute(sweep, materialize)}
+		task.run = s.checkpointedRun(key, func(ctx context.Context, j *jobs.Job) ([]byte, error) {
+			return s.sweepJobBody(ctx, j, key, sweep, materialize)
+		})
+		return task, nil
+	case "runtime-sweep":
+		var req runtimeSweepRequest
+		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
+			return jobTask{}, err
+		}
+		sweep, n, materialize, err := req.build()
+		if err != nil {
+			return jobTask{}, err
+		}
+		key, err := cacheKey("/v1/runtime-sweep", req.canonical())
+		if err != nil {
+			return jobTask{}, err
+		}
+		task := jobTask{typ: sub.Type, key: key, total: n, compute: runtimeSweepCompute(sweep, materialize)}
+		task.run = s.checkpointedRun(key, func(ctx context.Context, j *jobs.Job) ([]byte, error) {
+			return s.runtimeSweepJobBody(ctx, j, key, sweep, materialize)
+		})
+		return task, nil
+	default:
+		return jobTask{}, fmt.Errorf("unknown job type %q (want %s)", sub.Type, jobTypes)
+	}
+}
+
+// unaryTask wraps a single-unit compute (experiment, runtime) as a job:
+// the whole computation is one unit, so progress is 0 -> 1 and there is no
+// checkpoint — a restarted single run recomputes.
+func (s *Server) unaryTask(typ, endpoint string, canonical any, total int, compute func(ctx context.Context) (any, error)) (jobTask, error) {
+	key, err := cacheKey(endpoint, canonical)
+	if err != nil {
+		return jobTask{}, err
+	}
+	run := func(ctx context.Context, j *jobs.Job) error {
+		_, _, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+			j.Begin(total, 0)
+			return s.computeBody(ctx, key, compute)
+		})
+		return err
+	}
+	return jobTask{typ: typ, key: key, total: total, compute: compute, run: run}, nil
+}
+
+// checkpointedRun wraps a checkpoint-aware body renderer as a job runner.
+// The computation still goes through cache.Do, so a job whose key is
+// already cached (or stored, via the fallback) finishes instantly, and
+// identical concurrent submissions — synchronous or jobs — share one
+// computation.
+func (s *Server) checkpointedRun(key string, body func(ctx context.Context, j *jobs.Job) ([]byte, error)) jobs.RunFunc {
+	return func(ctx context.Context, j *jobs.Job) error {
+		_, _, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+			return s.render(ctx, key, func(ctx context.Context) ([]byte, error) {
+				return body(ctx, j)
+			})
+		})
+		return err
+	}
+}
+
+// collectJob is the shared engine loop of both sweep-shaped job bodies: it
+// restores checkpointed units, reports progress, streams the missing
+// indices through the engine, checkpoints and emits each fresh result, and
+// on a per-unit error aborts the job with the lowest-index error among the
+// results delivered (the abort cancels the stream, whose remaining
+// delivery is best-effort — unlike the synchronous endpoints' guaranteed
+// lowest-index rule). n is the batch size; restore loads checkpointed
+// units into the caller's state and reports which indices it covered;
+// stream opens the engine over the missing (re-indexed) units; line
+// renders the NDJSON line for one index.
+func collectJob[R any](ctx context.Context, s *Server, j *jobs.Job, key string, n int,
+	restore func(have []bool) (resumed int),
+	stream func(ctx context.Context, missing []int) <-chan R,
+	examine func(R) (localIndex int, err error),
+	accept func(R, int),
+	line func(index int) (any, error),
+) error {
+	have := make([]bool, n)
+	resumed := restore(have)
+	j.Begin(n, resumed)
+	for i := range have {
+		if !have[i] {
+			continue
+		}
+		raw, err := line(i)
+		if err != nil {
+			return err
+		}
+		buf, err := json.Marshal(raw)
+		if err != nil {
+			return err
+		}
+		j.Event(buf)
+	}
+
+	var missing []int
+	for i := range have {
+		if !have[i] {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	// One open append handle for the whole run; checkpointing is
+	// best-effort (a failed write only costs recomputation later), so an
+	// open error just disables it.
+	var cp *jobs.Checkpoint
+	if s.store != nil {
+		if c, err := s.store.OpenCheckpoint(key); err == nil {
+			cp = c
+			defer cp.Close()
+		}
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	delivered := 0
+	var firstErr error
+	firstIdx := -1
+	for r := range stream(runCtx, missing) {
+		delivered++
+		local, err := examine(r)
+		idx := missing[local]
+		if err != nil {
+			if firstIdx < 0 || idx < firstIdx {
+				firstErr, firstIdx = err, idx
+			}
+			cancel()
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		accept(r, idx)
+		raw, err := line(idx)
+		if err != nil {
+			return err
+		}
+		buf, err := json.Marshal(raw)
+		if err != nil {
+			return err
+		}
+		if cp != nil {
+			cp.Append(buf)
+		}
+		j.Event(buf)
+		j.Advance()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if delivered < len(missing) {
+		return fmt.Errorf("job delivered %d of %d units", delivered, len(missing))
+	}
+	return nil
+}
+
+// sweepJobBody renders a sweep job's final body: resume from checkpoint,
+// compute the rest, aggregate in input order. The bytes equal the
+// synchronous endpoint's (sweep.Run marshaled) because per-instance
+// evaluation is a pure function of the instance, checkpoint lines
+// round-trip exactly, and aggregation is input-ordered either way.
+func (s *Server) sweepJobBody(ctx context.Context, j *jobs.Job, key string, sweep *ulba.Sweep, materialize func() []ulba.ModelParams) ([]byte, error) {
+	params := materialize()
+	comps := make([]ulba.Comparison, len(params))
+	err := collectJob(ctx, s, j, key, len(params),
+		func(have []bool) int {
+			return s.restoreCheckpoint(key, have, func(raw []byte) (int, bool) {
+				var line sweepStreamLine
+				if json.Unmarshal(raw, &line) != nil || line.Comparison == nil {
+					return -1, false
+				}
+				if line.Index >= 0 && line.Index < len(comps) {
+					comps[line.Index] = *line.Comparison
+				}
+				return line.Index, true
+			})
+		},
+		func(ctx context.Context, missing []int) <-chan ulba.SweepResult {
+			sub := make([]ulba.ModelParams, len(missing))
+			for i, idx := range missing {
+				sub[i] = params[idx]
+			}
+			return sweep.Stream(ctx, sub)
+		},
+		func(r ulba.SweepResult) (int, error) { return r.Index, r.Err },
+		func(r ulba.SweepResult, idx int) { comps[idx] = r.Comparison },
+		func(idx int) (any, error) { return sweepStreamLine{Index: idx, Comparison: &comps[idx]}, nil },
+	)
+	if err != nil {
+		return nil, err
+	}
+	// persist (via render) clears the checkpoint once this body lands.
+	return marshalBody(sweepResponse{Summary: ulba.SummarizeSweep(comps), Comparisons: comps})
+}
+
+// runtimeSweepJobBody is sweepJobBody for the scenario engine.
+func (s *Server) runtimeSweepJobBody(ctx context.Context, j *jobs.Job, key string, sweep *ulba.RuntimeSweep, materialize func() ([]*ulba.RuntimeExperiment, error)) ([]byte, error) {
+	exps, err := materialize()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]ulba.RuntimeResult, len(exps))
+	err = collectJob(ctx, s, j, key, len(exps),
+		func(have []bool) int {
+			return s.restoreCheckpoint(key, have, func(raw []byte) (int, bool) {
+				var line runtimeStreamLine
+				if json.Unmarshal(raw, &line) != nil || line.Result == nil {
+					return -1, false
+				}
+				if line.Index >= 0 && line.Index < len(results) {
+					results[line.Index] = *line.Result
+				}
+				return line.Index, true
+			})
+		},
+		func(ctx context.Context, missing []int) <-chan ulba.RuntimeSweepResult {
+			sub := make([]*ulba.RuntimeExperiment, len(missing))
+			for i, idx := range missing {
+				sub[i] = exps[idx]
+			}
+			return sweep.Stream(ctx, sub)
+		},
+		func(r ulba.RuntimeSweepResult) (int, error) { return r.Index, r.Err },
+		func(r ulba.RuntimeSweepResult, idx int) { results[idx] = r.Result },
+		func(idx int) (any, error) { return runtimeStreamLine{Index: idx, Result: &results[idx]}, nil },
+	)
+	if err != nil {
+		return nil, err
+	}
+	// persist (via render) clears the checkpoint once this body lands.
+	return marshalBody(runtimeSweepResponse{Summary: ulba.SummarizeRuntimeSweep(results), Results: results})
+}
+
+// restoreCheckpoint replays key's checkpoint lines through apply (which
+// stores the decoded unit and returns its index) and marks the covered
+// indices. Unparseable or out-of-range lines are skipped — a checkpoint can
+// only help, never wedge a job.
+func (s *Server) restoreCheckpoint(key string, have []bool, apply func(raw []byte) (int, bool)) (resumed int) {
+	if s.store == nil {
+		return 0
+	}
+	lines, err := s.store.LoadCheckpoint(key)
+	if err != nil {
+		return 0
+	}
+	for _, raw := range lines {
+		idx, ok := apply(raw)
+		if !ok || idx < 0 || idx >= len(have) || have[idx] {
+			continue
+		}
+		have[idx] = true
+		resumed++
+	}
+	return resumed
+}
+
+// writeJSON writes one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub jobSubmission
+	if err := decode(r, &sub); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	task, err := s.buildJobTask(sub)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.manager.Submit(task.typ, task.key, task.total, sub, task.run)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// jobListResponse is the body of GET /v1/jobs.
+type jobListResponse struct {
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	list := s.manager.List()
+	if list == nil {
+		list = []jobs.Status{}
+	}
+	writeJSON(w, http.StatusOK, jobListResponse{Jobs: list})
+}
+
+// getJob resolves the {id} path segment, writing the 404 itself when the
+// job is unknown (or already pruned by retention).
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	}
+	return j, ok
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.manager.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult serves a finished job's body — bit-identical to the
+// synchronous endpoint's response for the same request. The body is fetched
+// by content address through the same cache/store/compute chain, so even if
+// both the LRU and the store have dropped it, the determinism contract lets
+// the server recompute the identical bytes on the spot.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case jobs.StateDone:
+	case jobs.StateFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", st.ID, st.Error))
+		return
+	case jobs.StateCancelled:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s was cancelled", st.ID))
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; the result is not ready", st.ID, st.State))
+		return
+	}
+	sub, _ := j.Meta().(jobSubmission)
+	task, err := s.buildJobTask(sub)
+	if err != nil { // cannot happen: the submission validated at submit time
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ctx := r.Context()
+	body, outcome, err := s.cache.Do(ctx, task.key, func() ([]byte, error) {
+		return s.computeBody(ctx, task.key, task.compute)
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ulba-Cache", string(outcome))
+	w.Write(body)
+}
+
+// jobStreamTail terminates a job stream with the job's final state.
+type jobStreamTail struct {
+	State    jobs.State    `json:"state"`
+	Progress jobs.Progress `json:"progress"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// handleJobStream replays the job's as-completed NDJSON lines and follows
+// them live until the job finishes, then emits a terminal state line. The
+// lines are exactly the sweep stream lines (index + comparison/result);
+// unary jobs have no per-unit lines, so their stream is the terminal line
+// alone.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	nw := newNDJSONWriter(w)
+	i := 0
+	for {
+		lines, st, watch := j.EventsSince(i)
+		for _, line := range lines {
+			nw.raw(line)
+		}
+		i += len(lines)
+		if st.State.Terminal() {
+			nw.line(jobStreamTail{State: st.State, Progress: st.Progress, Error: st.Error})
+			return
+		}
+		select {
+		case <-watch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

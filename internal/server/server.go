@@ -18,15 +18,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"ulba"
+	"ulba/internal/jobs"
 )
 
 // Config parameterizes a Server. The zero value is usable: a 64 MiB cache,
-// GOMAXPROCS concurrent engine requests, and 32 MiB request bodies.
+// GOMAXPROCS concurrent engine requests, 32 MiB request bodies, GOMAXPROCS
+// job workers, memory-only results, and 1 h job retention.
 type Config struct {
 	// CacheBytes is the result cache's byte budget. Negative disables
 	// storage (single-flight deduplication still applies); 0 selects the
@@ -39,19 +43,40 @@ type Config struct {
 	MaxConcurrent int
 	// MaxBodyBytes bounds a request body; <= 0 selects 32 MiB.
 	MaxBodyBytes int64
+
+	// Store, when non-nil, persists rendered response bodies and job
+	// checkpoints on disk (cmd/ulba-serve: -store-dir). At startup the
+	// store is replayed into the result cache, so identical requests from
+	// before a restart are served without recomputation; bodies the LRU
+	// evicts are re-read from disk on demand. Nil keeps results in memory
+	// only. The server takes ownership: Close closes the store.
+	Store *jobs.Store
+	// JobWorkers bounds how many jobs run concurrently (<= 0 selects
+	// GOMAXPROCS). Job engine work additionally respects MaxConcurrent,
+	// like every synchronous request.
+	JobWorkers int
+	// JobRetention is how long finished jobs stay listable; 0 selects the
+	// 1 h default, negative keeps them forever.
+	JobRetention time.Duration
 }
 
-// Server routes the service endpoints and owns the result cache and the
-// engine-concurrency limiter. Build it with New; it is safe for concurrent
-// use and is typically mounted via Handler.
+// Server routes the service endpoints and owns the result cache, the
+// persistent store, the job queue, and the engine-concurrency limiter.
+// Build it with New; it is safe for concurrent use and is typically
+// mounted via Handler. Call Close on shutdown to drain jobs and close the
+// store.
 type Server struct {
 	cache   *Cache
+	store   *jobs.Store
+	manager *jobs.Manager
 	sem     chan struct{}
 	mux     *http.ServeMux
+	routes  []string
 	maxBody int64
 
 	requests   atomic.Uint64
 	engineRuns atomic.Uint64
+	seeded     int
 }
 
 // New builds a Server from cfg (see Config for the zero-value defaults).
@@ -71,19 +96,80 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
+	retention := cfg.JobRetention
+	switch {
+	case retention == 0:
+		retention = time.Hour
+	case retention < 0:
+		retention = 0
+	}
 	s := &Server{
 		cache:   NewCache(budget),
+		store:   cfg.Store,
+		manager: jobs.NewManager(cfg.JobWorkers, retention),
 		sem:     make(chan struct{}, workers),
 		mux:     http.NewServeMux(),
 		maxBody: maxBody,
 	}
-	s.mux.HandleFunc("GET /v1/registries", s.handleRegistries)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/runtime", s.handleRuntime)
-	s.mux.HandleFunc("POST /v1/runtime-sweep", s.handleRuntimeSweep)
+	if s.store != nil {
+		// Disk is the second cache level: warm-load persisted results
+		// until the cache budget is full (anything beyond it stays
+		// reachable through the fallback), and fall back to a disk read
+		// when a key misses the LRU later.
+		s.store.Range(func(key string, body []byte) bool {
+			if !s.cache.Seed(key, body) {
+				return false
+			}
+			s.seeded++
+			return true
+		})
+		s.cache.fallback = func(key string) ([]byte, bool) {
+			body, ok, err := s.store.Get(key)
+			return body, ok && err == nil
+		}
+	}
+	s.route("GET /v1/registries", s.handleRegistries)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("POST /v1/experiment", s.handleExperiment)
+	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("POST /v1/runtime", s.handleRuntime)
+	s.route("POST /v1/runtime-sweep", s.handleRuntimeSweep)
+	s.route("POST /v1/jobs", s.handleJobSubmit)
+	s.route("GET /v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
+}
+
+// route registers a handler and records its pattern, so Routes stays the
+// single source of truth the documentation drift test pins against.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+	s.routes = append(s.routes, pattern)
+}
+
+// Routes lists every registered endpoint pattern ("METHOD /path") in
+// registration order. The docs drift test compares this against the
+// endpoint tables of DESIGN.md and API.md.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
+}
+
+// Close shuts the asynchronous machinery down: no new jobs, queued jobs
+// cancelled, running jobs given until ctx expires before their contexts are
+// cancelled (their checkpoints persist either way), then the store is
+// closed. The HTTP handler itself is stateless — shut the http.Server down
+// first, then Close.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.manager.Close(ctx)
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Handler returns the root handler serving every endpoint.
@@ -97,20 +183,38 @@ func (s *Server) Handler() http.Handler {
 
 // Stats is the service-level counter snapshot behind GET /v1/stats.
 type Stats struct {
-	Requests   uint64     `json:"requests"`
-	EngineRuns uint64     `json:"engine_runs"`
-	Cache      CacheStats `json:"cache"`
+	Requests   uint64      `json:"requests"`
+	EngineRuns uint64      `json:"engine_runs"`
+	Cache      CacheStats  `json:"cache"`
+	Jobs       jobs.Stats  `json:"jobs"`
+	Store      *StoreStats `json:"store,omitempty"`
 }
 
-// Stats snapshots the request, engine-run, and cache counters. EngineRuns
-// counts actual engine executions: the gap between it and Requests is the
-// work the cache and single-flight deduplication saved.
+// StoreStats describes the persistent result store, when one is configured.
+type StoreStats struct {
+	// Entries and Bytes size the on-disk result log.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Seeded is how many stored bodies were replayed into the cache at
+	// startup — the restart-survival half of the persistence contract.
+	Seeded int `json:"seeded"`
+}
+
+// Stats snapshots the request, engine-run, cache, job, and store counters.
+// EngineRuns counts actual engine executions: the gap between it and
+// Requests is the work the cache, the single-flight deduplication, and the
+// persistent store saved.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:   s.requests.Load(),
 		EngineRuns: s.engineRuns.Load(),
 		Cache:      s.cache.Stats(),
+		Jobs:       s.manager.Stats(),
 	}
+	if s.store != nil {
+		st.Store = &StoreStats{Entries: s.store.Len(), Bytes: s.store.Bytes(), Seeded: s.seeded}
+	}
+	return st
 }
 
 // acquire claims an engine slot, or gives up when the request dies first.
@@ -150,7 +254,13 @@ func writeEngineError(w http.ResponseWriter, err error) {
 // are errors, so typos surface as 400s instead of silently evaluating a
 // default.
 func decode(r *http.Request, into any) error {
-	dec := json.NewDecoder(r.Body)
+	return decodeStrict(r.Body, into)
+}
+
+// decodeStrict is decode over any reader — the same rules applied to the
+// nested request object of a job submission.
+func decodeStrict(rd io.Reader, into any) error {
+	dec := json.NewDecoder(rd)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		return fmt.Errorf("invalid request body: %w", err)
@@ -173,10 +283,69 @@ func cacheKey(endpoint string, canonical any) (string, error) {
 	return fmt.Sprintf("%x", sum), nil
 }
 
+// render runs one rendering function under an engine slot and persists the
+// body it produces. It is the compute leg shared by every cached path —
+// synchronous endpoints and jobs alike — so a body always reaches the store
+// no matter which surface computed it.
+func (s *Server) render(ctx context.Context, key string, render func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.engineRuns.Add(1)
+	body, err := render(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.persist(key, body)
+	return body, nil
+}
+
+// persist best-effort writes a rendered body to the store and retires the
+// key's checkpoint: once the final body is durable there is no partial
+// state left to protect, whichever surface — synchronous endpoint or job —
+// computed it. Persistence is an optimization, never a correctness
+// requirement — a failed write only costs a future recomputation — so
+// errors do not fail the request.
+func (s *Server) persist(key string, body []byte) {
+	if s.store == nil {
+		return
+	}
+	// Clear the checkpoint only once the body actually is durable: if the
+	// Put failed (disk full), the partial state is still the only thing a
+	// post-crash resubmission can resume from.
+	if err := s.store.Put(key, body); err == nil {
+		s.store.ClearCheckpoint(key)
+	}
+}
+
+// marshalBody renders a response value into its final wire form. The
+// trailing newline is part of the body, so hits, joins, store reads, and
+// job results all serve bytes identical to the original miss.
+func marshalBody(resp any) ([]byte, error) {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// computeBody is cache.Do's compute leg for a unary request: engine slot,
+// compute, marshal, persist.
+func (s *Server) computeBody(ctx context.Context, key string, compute func(ctx context.Context) (any, error)) ([]byte, error) {
+	return s.render(ctx, key, func(ctx context.Context) ([]byte, error) {
+		resp, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(resp)
+	})
+}
+
 // serveCached answers one unary engine request through the cache: compute
 // runs at most once per content address across concurrent and repeated
-// requests, under an engine slot. compute returns the fully rendered
-// response body, so hits and joins are byte-identical to fresh misses.
+// requests, under an engine slot. The cached body is fully rendered, so
+// hits, joins, and store reads are byte-identical to fresh misses.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, canonical any, compute func(ctx context.Context) (any, error)) {
 	key, err := cacheKey(endpoint, canonical)
 	if err != nil {
@@ -185,22 +354,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	}
 	ctx := r.Context()
 	body, outcome, err := s.cache.Do(ctx, key, func() ([]byte, error) {
-		if err := s.acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.release()
-		s.engineRuns.Add(1)
-		resp, err := compute(ctx)
-		if err != nil {
-			return nil, err
-		}
-		buf, err := json.Marshal(resp)
-		if err != nil {
-			return nil, err
-		}
-		// The newline is part of the cached body, so hits and joins
-		// serve bytes identical to the original miss.
-		return append(buf, '\n'), nil
+		return s.computeBody(ctx, key, compute)
 	})
 	if err != nil {
 		writeEngineError(w, err)
@@ -257,9 +411,15 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, "/v1/experiment", req.canonical(), func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "/v1/experiment", req.canonical(), experimentCompute(exp, req.Compare))
+}
+
+// experimentCompute renders one experiment (optionally compared) response,
+// shared by POST /v1/experiment and experiment jobs.
+func experimentCompute(exp *ulba.Experiment, compare bool) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
 		var resp experimentResponse
-		if req.Compare {
+		if compare {
 			cmp, err := exp.Compare(ctx)
 			if err != nil {
 				return nil, err
@@ -279,7 +439,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			resp.PredictedTotalTime = &t
 		}
 		return resp, nil
-	})
+	}
 }
 
 // sweepResponse is the body of a non-streamed POST /v1/sweep: exactly
@@ -306,13 +466,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.serveCached(w, r, "/v1/sweep", req.canonical(), func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "/v1/sweep", req.canonical(), sweepCompute(sweep, materialize))
+}
+
+// sweepCompute renders one unary sweep response, shared by POST /v1/sweep
+// and the non-checkpointing leg of sweep jobs.
+func sweepCompute(sweep *ulba.Sweep, materialize func() []ulba.ModelParams) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
 		summary, comps, err := sweep.Run(ctx, materialize())
 		if err != nil {
 			return nil, err
 		}
 		return sweepResponse{Summary: summary, Comparisons: comps}, nil
-	})
+	}
 }
 
 // runtimeResponse is the body of POST /v1/runtime: RuntimeResult marshaled
@@ -334,13 +500,19 @@ func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, "/v1/runtime", req.canonical(), func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "/v1/runtime", req.canonical(), runtimeCompute(exp))
+}
+
+// runtimeCompute renders one runtime-scenario response, shared by
+// POST /v1/runtime and runtime jobs.
+func runtimeCompute(exp *ulba.RuntimeExperiment) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
 		res, err := exp.Run(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return runtimeResponse{Result: res, Gain: res.Gain(), Efficiency: res.Efficiency()}, nil
-	})
+	}
 }
 
 // runtimeSweepResponse is the body of a non-streamed POST /v1/runtime-sweep:
@@ -372,7 +544,14 @@ func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.serveCached(w, r, "/v1/runtime-sweep", req.canonical(), func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "/v1/runtime-sweep", req.canonical(), runtimeSweepCompute(sweep, materialize))
+}
+
+// runtimeSweepCompute renders one unary runtime-sweep response, shared by
+// POST /v1/runtime-sweep and the non-checkpointing leg of runtime-sweep
+// jobs.
+func runtimeSweepCompute(sweep *ulba.RuntimeSweep, materialize func() ([]*ulba.RuntimeExperiment, error)) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
 		exps, err := materialize()
 		if err != nil {
 			return nil, err
@@ -382,5 +561,5 @@ func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return runtimeSweepResponse{Summary: summary, Results: results}, nil
-	})
+	}
 }

@@ -73,6 +73,17 @@ func (nw *ndjsonWriter) line(v any) {
 	}
 }
 
+// raw emits one precomposed line (no trailing newline) verbatim — the job
+// stream path, whose lines were rendered once and replayed from the event
+// log.
+func (nw *ndjsonWriter) raw(line []byte) {
+	nw.w.Write(line)
+	nw.w.Write([]byte{'\n'})
+	if nw.flush != nil {
+		nw.flush.Flush()
+	}
+}
+
 // streamResults is the shared driver of both streaming endpoints: one
 // engine slot for the whole stream, then the per-line contract above. The
 // per-endpoint shape is injected: examine splits an engine result into

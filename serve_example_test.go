@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"time"
 
 	"ulba"
+	"ulba/internal/jobs"
 	"ulba/internal/server"
 )
 
@@ -57,4 +59,64 @@ func Example_server() {
 	// identical bytes: true
 	// instances evaluated: 100
 	// ULBA never loses: true
+}
+
+// Example_serverJobs drives the asynchronous flow end to end: submit a
+// sweep as a job, poll its state machine to completion, and fetch the
+// result — which is bit-identical to the synchronous endpoint's response
+// for the same request. With a store directory (ulba-serve -store-dir)
+// the result would additionally survive a restart, and an interrupted
+// job's checkpoint would let a resubmission resume; see API.md.
+func Example_serverJobs() {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	const request = `{"sample": {"seed": 2019, "n": 100}, "alpha_grid": 21}`
+
+	// Submit: the response returns immediately with the job's identity.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type": "sweep", "request": `+request+`}`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var st jobs.Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	fmt.Println("accepted:", resp.StatusCode, "total units:", st.Progress.Total)
+
+	// Poll until the state machine reaches a terminal state.
+	for !st.State.Terminal() {
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+	}
+	fmt.Println("final state:", st.State, "completed:", st.Progress.Completed)
+
+	// Fetch the result and compare with the synchronous endpoint.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	jobBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(request))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	syncBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("job result == synchronous bytes:", string(jobBody) == string(syncBody))
+	// Output:
+	// accepted: 202 total units: 100
+	// final state: done completed: 100
+	// job result == synchronous bytes: true
 }

@@ -6,9 +6,13 @@ import "fmt"
 // plain data structs (JSON-taggable, comparable where possible) that name a
 // registered policy and carry its configuration knobs, resolved into live
 // Planner / Trigger / Workload values on demand. They are what lets a
-// config-driven frontend — the HTTP service (internal/server), a CLI flag
-// set, a stored experiment description — construct the same engines the
-// in-process builders do, from nothing but serializable data.
+// config-driven frontend — the HTTP service (internal/server), its async
+// job submissions (POST /v1/jobs wraps the same request bodies), a CLI
+// flag set, a stored experiment description — construct the same engines
+// the in-process builders do, from nothing but serializable data. Because
+// a spec marshals deterministically, it is also what the service hashes
+// into the content address under which results are cached, persisted, and
+// resumed (see DESIGN.md, "Service layer").
 
 // PlannerSpec names a registered planner together with its configuration
 // knobs. The zero knobs keep the registry defaults (periodic: every 10,
