@@ -370,7 +370,10 @@ func measureJobs(count int, seed uint64) (*jobsRecord, error) {
 		if err != nil {
 			return nil, 0, 0, 0, 0, err
 		}
-		srv := server.New(server.Config{Store: store})
+		srv, err := server.New(server.Config{Store: store})
+		if err != nil {
+			return nil, 0, 0, 0, 0, err
+		}
 		defer srv.Close(context.Background())
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -498,7 +501,10 @@ func measureServer(requests int, seed uint64, clients int) (*serverRecord, error
 		distinct        = 8
 		instancesPerReq = 200
 	)
-	srv := server.New(server.Config{})
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

@@ -57,7 +57,10 @@ func TestDesignTablesMatchRegistries(t *testing.T) {
 // describe an endpoint that does not exist. Adding or removing a route
 // without the docs pass fails here.
 func TestEndpointDocsMatchRoutes(t *testing.T) {
-	srv := server.New(server.Config{})
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close(context.Background())
 	registered := srv.Routes()
 	sort.Strings(registered)

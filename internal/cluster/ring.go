@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over the member list: every member owns
+// VirtualNodes points on a 64-bit circle, and a key's replica set is the
+// first Replication distinct members clockwise from the key's hash. The
+// ring is a pure function of the sorted peer URLs, so every node — given
+// the same -peers flag — computes the same placement without coordination;
+// gossip only has to agree on liveness, not on the map itself.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// hash64 hashes s onto the ring circle. Raw FNV-1a clusters nearby inputs
+// (strings differing only in a trailing counter land within ~2^44 of each
+// other, a sliver of a 2^64 circle), which would pile all of a member's
+// virtual nodes into a few clumps; the splitmix64 finalizer avalanches the
+// FNV sum so points spread uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// buildRing places virtualNodes points per member, sorted by hash (ties
+// broken by member index so the ring is deterministic even on collisions).
+func buildRing(urls []string, virtualNodes int) ring {
+	points := make([]ringPoint, 0, len(urls)*virtualNodes)
+	for i, u := range urls {
+		for v := 0; v < virtualNodes; v++ {
+			points = append(points, ringPoint{hash: hash64(u + "|" + strconv.Itoa(v)), member: i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		return points[a].member < points[b].member
+	})
+	return ring{points: points}
+}
+
+// owners returns the indices of the first n distinct members clockwise from
+// key's hash, in ring order: owners(key)[0] is the primary, the rest are
+// the replicas that take over (in order) when it is unreachable.
+func (r ring) owners(key string, n int) []int {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}

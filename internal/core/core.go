@@ -116,10 +116,10 @@ func (d Detector) CountOverloading(db *gossip.DB) int {
 	if db.KnownCount() < d.MinKnown {
 		return 0
 	}
-	wirs := db.WIRs()
+	wirs := db.Values()
 	n := 0
 	for _, e := range db.Snapshot() {
-		if stats.ZScore(e.WIR, wirs) > d.ZThreshold {
+		if stats.ZScore(e.Value, wirs) > d.ZThreshold {
 			n++
 		}
 	}

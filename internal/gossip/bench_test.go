@@ -28,7 +28,7 @@ func BenchmarkDisseminationRound(b *testing.B) {
 func BenchmarkEncodeDecode(b *testing.B) {
 	entries := make([]Entry, 256)
 	for i := range entries {
-		entries[i] = Entry{Rank: i, WIR: float64(i) * 1.5, Iter: i}
+		entries[i] = Entry{Rank: i, Value: float64(i) * 1.5, Iter: i}
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

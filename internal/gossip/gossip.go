@@ -1,6 +1,6 @@
-// Package gossip implements the workload-increase-rate (WIR) database and
-// the dissemination algorithm of Section III-C of the paper: "each PE keeps
-// a database that stores the WIR of every PE. Each PE evaluates its WIR and
+// Package gossip implements the per-PE observation database and the
+// dissemination algorithm of Section III-C of the paper: "each PE keeps a
+// database that stores the WIR of every PE. Each PE evaluates its WIR and
 // propagates it (as well as the most recent WIRs in its database) to the
 // other PEs using a dissemination algorithm; one dissemination step is done
 // at each iteration to mitigate the overhead due to the WIR communication."
@@ -12,6 +12,20 @@
 // consecutive steps propagate every entry to every PE, matching the paper's
 // observation that entries are still "up to date" a few steps after
 // measurement under the principle of persistence.
+//
+// The package is transport-agnostic: the database plus the partner schedule
+// (Partner, Rounds) are pure, and Step runs one dissemination exchange over
+// any Transport. The simulated MPI runtime's *mpisim.Proc satisfies
+// Transport directly, and internal/cluster reuses the same schedule and
+// merge semantics over HTTP for replica membership — one dissemination core,
+// two substrates.
+//
+// Merging is a deterministic join: entries are totally ordered by
+// (Iter, Value), so folding any set of observations into a database yields
+// the same final state regardless of arrival order, grouping, or
+// duplication (the merge is commutative, associative, and idempotent). That
+// order-independence is what lets concurrent disseminators — simulated
+// ranks or HTTP replicas — converge on one agreed view.
 package gossip
 
 import (
@@ -19,19 +33,31 @@ import (
 	"fmt"
 	"math"
 
-	"ulba/internal/mpisim"
 	"ulba/internal/stats"
 )
 
-// Entry is one PE's WIR observation, stamped with the iteration at which it
+// Entry is one rank's observation — the WIR of a simulated PE, or a cluster
+// node's load — stamped with the iteration (heartbeat sequence) at which it
 // was measured so merges can keep the freshest value.
 type Entry struct {
-	Rank int
-	WIR  float64
-	Iter int
+	Rank  int     `json:"rank"`
+	Value float64 `json:"value"`
+	Iter  int     `json:"iter"`
 }
 
-// DB is the per-PE database of the freshest known WIR of every rank.
+// supersedes reports whether e wins over old in the deterministic merge
+// order: fresher iterations win, and equal iterations are tied by the
+// larger value — a total order, so merging is order-independent.
+func (e Entry) supersedes(old Entry) bool {
+	if e.Iter != old.Iter {
+		return e.Iter > old.Iter
+	}
+	return e.Value > old.Value
+}
+
+// DB is the per-rank database of the freshest known observation of every
+// rank. It is not safe for concurrent use; callers that share one across
+// goroutines (the cluster membership layer) serialize access themselves.
 type DB struct {
 	self    int
 	entries []Entry
@@ -57,24 +83,32 @@ func (db *DB) Size() int { return len(db.entries) }
 // Self returns the owning rank.
 func (db *DB) Self() int { return db.self }
 
-// Update records a WIR observation for rank if it is fresher than (or as
-// fresh as) the stored one. Same-iteration updates overwrite, so a PE's own
-// re-measurement in the same iteration wins.
-func (db *DB) Update(rank int, wir float64, iter int) {
+// Update records an observation for rank if it supersedes the stored one
+// under the deterministic merge order (fresher iteration wins; equal
+// iterations tie-break on the larger value). Updating and merging go through
+// the same join, so a database's final state never depends on the order
+// observations arrived in.
+func (db *DB) Update(rank int, value float64, iter int) {
 	if rank < 0 || rank >= len(db.entries) {
 		panic(fmt.Sprintf("gossip: update for invalid rank %d", rank))
 	}
-	if db.known[rank] && db.entries[rank].Iter > iter {
+	e := Entry{Rank: rank, Value: value, Iter: iter}
+	if db.known[rank] && !e.supersedes(db.entries[rank]) {
 		return
 	}
-	db.entries[rank] = Entry{Rank: rank, WIR: wir, Iter: iter}
+	db.entries[rank] = e
 	db.known[rank] = true
 }
 
-// Merge folds a batch of entries into the database, keeping freshest.
+// Merge folds a batch of entries into the database. Entries for ranks
+// outside the world are ignored (a cluster peer with a misconfigured peer
+// list must not crash everyone it gossips with).
 func (db *DB) Merge(entries []Entry) {
 	for _, e := range entries {
-		db.Update(e.Rank, e.WIR, e.Iter)
+		if e.Rank < 0 || e.Rank >= len(db.entries) {
+			continue
+		}
+		db.Update(e.Rank, e.Value, e.Iter)
 	}
 }
 
@@ -97,19 +131,19 @@ func (db *DB) KnownCount() int {
 	return n
 }
 
-// WIRs returns the WIR values of all known entries, the population used by
+// Values returns the values of all known entries, the population used by
 // the z-score overload detector.
-func (db *DB) WIRs() []float64 {
+func (db *DB) Values() []float64 {
 	out := make([]float64, 0, len(db.entries))
 	for r, k := range db.known {
 		if k {
-			out = append(out, db.entries[r].WIR)
+			out = append(out, db.entries[r].Value)
 		}
 	}
 	return out
 }
 
-// Snapshot returns all known entries.
+// Snapshot returns all known entries in rank order.
 func (db *DB) Snapshot() []Entry {
 	out := make([]Entry, 0, len(db.entries))
 	for r, k := range db.known {
@@ -141,7 +175,7 @@ func (db *DB) Staleness(now int) float64 {
 	return float64(worst)
 }
 
-// ZScoreOf returns the z-score of rank's WIR within the known WIR
+// ZScoreOf returns the z-score of rank's value within the known value
 // distribution, and false if the rank is unknown. A PE whose z-score
 // exceeds the paper's threshold (3.0) is considered overloading.
 func (db *DB) ZScoreOf(rank int) (float64, bool) {
@@ -149,10 +183,10 @@ func (db *DB) ZScoreOf(rank int) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return stats.ZScore(e.WIR, db.WIRs()), true
+	return stats.ZScore(e.Value, db.Values()), true
 }
 
-const entryBytes = 24 // rank int64 + wir float64 + iter int64
+const entryBytes = 24 // rank int64 + value float64 + iter int64
 
 // EncodeEntries serializes entries for the wire.
 func EncodeEntries(entries []Entry) []byte {
@@ -160,7 +194,7 @@ func EncodeEntries(entries []Entry) []byte {
 	for i, e := range entries {
 		off := i * entryBytes
 		binary.LittleEndian.PutUint64(b[off:], uint64(int64(e.Rank)))
-		binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(e.WIR))
+		binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(e.Value))
 		binary.LittleEndian.PutUint64(b[off+16:], uint64(int64(e.Iter)))
 	}
 	return b
@@ -175,16 +209,16 @@ func DecodeEntries(b []byte) []Entry {
 	for i := range out {
 		off := i * entryBytes
 		out[i] = Entry{
-			Rank: int(int64(binary.LittleEndian.Uint64(b[off:]))),
-			WIR:  math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
-			Iter: int(int64(binary.LittleEndian.Uint64(b[off+16:]))),
+			Rank:  int(int64(binary.LittleEndian.Uint64(b[off:]))),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
+			Iter:  int(int64(binary.LittleEndian.Uint64(b[off+16:]))),
 		}
 	}
 	return out
 }
 
 // Rounds returns ceil(log2 size): the number of consecutive dissemination
-// steps after which every entry has reached every PE.
+// steps after which every entry has reached every rank.
 func Rounds(size int) int {
 	r := 0
 	for 1<<r < size {
@@ -193,19 +227,46 @@ func Rounds(size int) int {
 	return r
 }
 
+// Partner returns the doubling-ring exchange partners of rank at the given
+// step: dst is who rank pushes to, src the mirror rank it receives from.
+// The offset doubles each step, wrapping after Rounds(size) steps, so any
+// Rounds(size) consecutive steps cover every distance. For size 1 both
+// partners are rank itself (a self-exchange; Step treats it as a no-op).
+func Partner(rank, step, size int) (dst, src int) {
+	if size == 1 {
+		return rank, rank
+	}
+	offset := 1 << (step % Rounds(size))
+	dst = (rank + offset) % size
+	src = (rank - offset%size + size) % size
+	return dst, src
+}
+
+// Transport is one rank's view of a message-passing substrate: a paired
+// push-to-dst / receive-from-src exchange under a tag. *mpisim.Proc
+// satisfies it directly (the simulated runtime the paper's algorithm runs
+// on); other substrates — an HTTP cluster, a test harness — implement it
+// with whatever wire they have.
+type Transport interface {
+	// Rank is this participant's index in [0, Size).
+	Rank() int
+	// Size is the number of participants.
+	Size() int
+	// SendRecv pushes sendData to dst and blocks until the payload sent by
+	// src under the same tag has arrived, returning it.
+	SendRecv(dst int, sendData []byte, src, tag int) []byte
+}
+
 // Step performs one dissemination step at the given step index over the
-// simulated runtime: push the whole database to the doubling-ring partner
-// and merge what the mirror partner pushed to us. All ranks must call Step
-// with the same step index and tag. A world of one PE is a no-op.
-func Step(p *mpisim.Proc, db *DB, step int, tag int) {
-	size := p.Size()
+// transport: push the whole database to the doubling-ring partner and merge
+// what the mirror partner pushed to us. All ranks must call Step with the
+// same step index and tag. A world of one rank is a no-op.
+func Step(t Transport, db *DB, step int, tag int) {
+	size := t.Size()
 	if size == 1 {
 		return
 	}
-	rounds := Rounds(size)
-	offset := 1 << (step % rounds)
-	dst := (p.Rank() + offset) % size
-	src := (p.Rank() - offset%size + size) % size
-	payload := p.SendRecv(dst, EncodeEntries(db.Snapshot()), src, tag)
+	dst, src := Partner(t.Rank(), step, size)
+	payload := t.SendRecv(dst, EncodeEntries(db.Snapshot()), src, tag)
 	db.Merge(DecodeEntries(payload))
 }

@@ -18,15 +18,19 @@ func TestDBUpdateFreshnessWins(t *testing.T) {
 	db := NewDB(0, 4)
 	db.Update(2, 1.0, 5)
 	db.Update(2, 2.0, 3) // staler: ignored
-	if e, ok := db.Get(2); !ok || e.WIR != 1.0 || e.Iter != 5 {
+	if e, ok := db.Get(2); !ok || e.Value != 1.0 || e.Iter != 5 {
 		t.Errorf("stale update overwrote fresher entry: %+v", e)
 	}
-	db.Update(2, 3.0, 5) // same iteration: overwrites
-	if e, _ := db.Get(2); e.WIR != 3.0 {
-		t.Errorf("same-iteration update should win: %+v", e)
+	db.Update(2, 3.0, 5) // same iteration, larger value: wins
+	if e, _ := db.Get(2); e.Value != 3.0 {
+		t.Errorf("same-iteration larger value should win: %+v", e)
+	}
+	db.Update(2, 2.5, 5) // same iteration, smaller value: ignored
+	if e, _ := db.Get(2); e.Value != 3.0 {
+		t.Errorf("same-iteration smaller value should lose: %+v", e)
 	}
 	db.Update(2, 4.0, 9)
-	if e, _ := db.Get(2); e.WIR != 4.0 || e.Iter != 9 {
+	if e, _ := db.Get(2); e.Value != 4.0 || e.Iter != 9 {
 		t.Errorf("fresher update should win: %+v", e)
 	}
 }
@@ -50,9 +54,9 @@ func TestDBBasics(t *testing.T) {
 	if db.KnownCount() != 2 {
 		t.Errorf("KnownCount = %d", db.KnownCount())
 	}
-	wirs := db.WIRs()
-	if len(wirs) != 2 || wirs[0] != 5 || wirs[1] != 7 {
-		t.Errorf("WIRs = %v", wirs)
+	values := db.Values()
+	if len(values) != 2 || values[0] != 5 || values[1] != 7 {
+		t.Errorf("Values = %v", values)
 	}
 	snap := db.Snapshot()
 	if len(snap) != 2 || snap[0].Rank != 0 || snap[1].Rank != 1 {
@@ -118,7 +122,7 @@ func TestZScoreOf(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	in := []Entry{{Rank: 3, WIR: -1.5, Iter: 42}, {Rank: 0, WIR: 0, Iter: 0}}
+	in := []Entry{{Rank: 3, Value: -1.5, Iter: 42}, {Rank: 0, Value: 0, Iter: 0}}
 	out := DecodeEntries(EncodeEntries(in))
 	if len(out) != len(in) {
 		t.Fatal("length mismatch")
@@ -163,7 +167,7 @@ func TestFullDisseminationWithinLogRounds(t *testing.T) {
 				}
 				for r := 0; r < size; r++ {
 					e, ok := db.Get(r)
-					if !ok || e.WIR != float64(r)*1.5 {
+					if !ok || e.Value != float64(r)*1.5 {
 						return fmt.Errorf("rank %d has wrong entry for %d: %+v", p.Rank(), r, e)
 					}
 				}
@@ -235,57 +239,131 @@ func TestStepSingleton(t *testing.T) {
 	}
 }
 
-// Property: merging is idempotent and commutative for fixed freshness.
-func TestMergeSemanticsProperty(t *testing.T) {
+// Property: a database's final state is a pure function of the SET of
+// entries it absorbed — independent of arrival order, grouping into
+// batches, or duplication. This includes equal-Iter ties (deterministic
+// tie-break on the larger value), which the doubling ring produces whenever
+// two paths deliver different same-iteration observations; a receive-order-
+// dependent merge would let replicas disagree forever.
+func TestMergeOrderIndependenceProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := stats.NewRNG(seed)
 		size := 2 + rng.Intn(10)
-		mkEntries := func(n int) []Entry {
-			es := make([]Entry, n)
-			for i := range es {
-				es[i] = Entry{Rank: rng.Intn(size), WIR: rng.Float64(), Iter: rng.Intn(20)}
+		n := 1 + rng.Intn(25)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{
+				Rank: rng.Intn(size),
+				// A coarse value grid forces equal-Iter ties with both
+				// equal and differing values.
+				Value: float64(rng.Intn(4)),
+				Iter:  rng.Intn(5),
 			}
-			return es
 		}
-		a := mkEntries(rng.Intn(15))
-		b := mkEntries(rng.Intn(15))
 
-		db1 := NewDB(0, size)
-		db1.Merge(a)
-		db1.Merge(b)
-		db1.Merge(b) // idempotent
-
-		// For commutativity the tie-breaking on equal Iter matters;
-		// filter duplicates with equal freshness to sidestep ties.
-		seen := map[[2]int]bool{}
-		var aa, bb []Entry
-		for _, e := range append(append([]Entry{}, a...), b...) {
-			k := [2]int{e.Rank, e.Iter}
-			if !seen[k] {
-				seen[k] = true
-				if len(aa) <= len(bb) {
-					aa = append(aa, e)
-				} else {
-					bb = append(bb, e)
+		apply := func(perm []int, batches int) *DB {
+			db := NewDB(0, size)
+			start := 0
+			for b := 0; b < batches; b++ {
+				end := start + (n-start)/(batches-b)
+				batch := make([]Entry, 0, end-start)
+				for _, idx := range perm[start:end] {
+					batch = append(batch, entries[idx])
 				}
+				db.Merge(batch)
+				start = end
 			}
+			return db
 		}
-		db2 := NewDB(0, size)
-		db2.Merge(aa)
-		db2.Merge(bb)
-		db3 := NewDB(0, size)
-		db3.Merge(bb)
-		db3.Merge(aa)
-		for r := 0; r < size; r++ {
-			e2, ok2 := db2.Get(r)
-			e3, ok3 := db3.Get(r)
-			if ok2 != ok3 || (ok2 && e2 != e3) {
-				return false
+
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		want := apply(identity, 1)
+
+		for trial := 0; trial < 4; trial++ {
+			perm := append([]int(nil), identity...)
+			for i := n - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			// Duplicate a random prefix to check idempotence too.
+			dup := append(append([]int(nil), perm...), perm[:rng.Intn(n)]...)
+			db := NewDB(0, size)
+			for _, chunk := range [][]int{dup[:len(dup)/2], dup[len(dup)/2:]} {
+				batch := make([]Entry, 0, len(chunk))
+				for _, idx := range chunk {
+					batch = append(batch, entries[idx])
+				}
+				db.Merge(batch)
+			}
+			_ = apply(perm, 1+rng.Intn(3))
+			for r := 0; r < size; r++ {
+				e1, ok1 := want.Get(r)
+				e2, ok2 := db.Get(r)
+				if ok1 != ok2 || (ok1 && e1 != e2) {
+					return false
+				}
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Merge must ignore out-of-range ranks instead of panicking: a cluster peer
+// with a larger peer list must not crash everyone it gossips with.
+func TestMergeIgnoresForeignRanks(t *testing.T) {
+	db := NewDB(0, 3)
+	db.Merge([]Entry{{Rank: 7, Value: 1, Iter: 1}, {Rank: -1, Value: 1, Iter: 1}, {Rank: 2, Value: 4, Iter: 1}})
+	if db.KnownCount() != 1 {
+		t.Fatalf("KnownCount = %d, want 1", db.KnownCount())
+	}
+	if e, ok := db.Get(2); !ok || e.Value != 4 {
+		t.Errorf("in-range entry lost: %+v ok=%v", e, ok)
+	}
+}
+
+// Partner must be a paired exchange (dst's src is me) and the union of the
+// offsets over one full cycle must cover every nonzero distance — the
+// property the log-round dissemination bound rests on.
+func TestPartnerSchedule(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		rounds := Rounds(size)
+		covered := map[int]bool{}
+		for s := 0; s < rounds; s++ {
+			for rank := 0; rank < size; rank++ {
+				dst, src := Partner(rank, s, size)
+				if back, _ := Partner(src, s, size); back != rank {
+					t.Fatalf("size %d step %d: rank %d receives from %d whose dst is %d", size, s, rank, src, back)
+				}
+				if rank == 0 {
+					covered[dst] = true
+				}
+			}
+		}
+		if size == 1 {
+			if dst, src := Partner(0, 0, 1); dst != 0 || src != 0 {
+				t.Fatal("singleton partner should be self")
+			}
+			continue
+		}
+		for d := 1; d < size; d++ {
+			// Offsets are 2^s; subset sums cover every distance, but each
+			// single step covers only power-of-two distances. Check the
+			// one-step reachability set is exactly the offsets.
+			want := false
+			for s := 0; s < rounds; s++ {
+				if (1<<s)%size == d {
+					want = true
+				}
+			}
+			if covered[d] != want {
+				t.Errorf("size %d: distance %d covered=%v, want %v", size, d, covered[d], want)
+			}
+		}
 	}
 }

@@ -164,6 +164,26 @@ func (c *Cache) Seed(key string, body []byte) bool {
 	return true
 }
 
+// Has reports whether key is immediately servable from the LRU — a pure
+// peek: no fallback consultation, no counter movement, no recency update.
+// The cluster layer uses it to skip forwarding for locally cached keys and
+// to keep already computed jobs out of steal responses.
+func (c *Cache) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Admit inserts an externally computed body — a replica push from a cluster
+// peer. Eviction applies as for store; the outcome counters do not move
+// (the replica was never a request).
+func (c *Cache) Admit(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store(key, body)
+}
+
 // store inserts a computed body, evicting least-recently-used entries until
 // the budget holds. Bodies larger than the whole budget are not stored.
 // Callers hold c.mu.

@@ -1,0 +1,487 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ulba/internal/cluster"
+	"ulba/internal/jobs"
+)
+
+// testClusterNode is one in-process replica: the Server, its HTTP frontend,
+// and its base URL as the other replicas dial it.
+type testClusterNode struct {
+	srv  *Server
+	http *httptest.Server
+	url  string
+}
+
+// newTestCluster stands up n in-process replicas that can really reach each
+// other over HTTP. The URL chicken-and-egg (every node needs the full peer
+// list before any server exists) is solved by reserving all listeners
+// first. Gossip/steal loops run at test speed; configure applies per-node
+// Config tweaks before construction.
+func newTestCluster(t *testing.T, n, replication int, configure func(i int, cfg *Config)) []testClusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]testClusterNode, n)
+	for i := range nodes {
+		cfg := Config{Cluster: &cluster.Options{
+			Self:           urls[i],
+			Peers:          urls,
+			Replication:    replication,
+			GossipInterval: 20 * time.Millisecond,
+			StealInterval:  20 * time.Millisecond,
+		}}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewUnstartedServer(srv.Handler())
+		hs.Listener.Close()
+		hs.Listener = lns[i]
+		hs.Start()
+		nodes[i] = testClusterNode{srv: srv, http: hs, url: urls[i]}
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.http.Close()
+			node.srv.Close(context.Background())
+		}
+	})
+	return nodes
+}
+
+func postURL(t *testing.T, url, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// goldenRequests is one request per engine endpoint, used to pin the
+// cluster's byte-identity contract.
+var goldenRequests = []struct {
+	name, path, body string
+}{
+	{"experiment", "/v1/experiment", `{"p":8,"alpha":0.3,"compare":true}`},
+	{"sweep", "/v1/sweep", `{"sample":{"seed":2019,"n":20},"alpha_grid":11}`},
+	{"runtime", "/v1/runtime", `{"p":4,"iterations":40,"workload":{"name":"linear","seed":3},"trigger":{"name":"periodic","every":8}}`},
+	{"runtime-sweep", "/v1/runtime-sweep", `{"sample":{"seed":5,"n":3}}`},
+}
+
+// TestClusterGoldenByteIdentity pins the tentpole contract: a 3-replica
+// cluster serves byte-identical responses to a standalone server for every
+// engine request type, no matter which replica the client dials — forwarded
+// or computed locally, every body is the same pure function of its request.
+func TestClusterGoldenByteIdentity(t *testing.T) {
+	_, standalone := newTestServer(t)
+	nodes := newTestCluster(t, 3, 2, nil)
+	for _, req := range goldenRequests {
+		resp := post(t, standalone, req.path, req.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: standalone status = %d", req.name, resp.StatusCode)
+		}
+		want := readAll(t, resp)
+		for i, node := range nodes {
+			resp := postURL(t, node.url, req.path, req.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s via node %d: status = %d", req.name, i, resp.StatusCode)
+			}
+			got := readAll(t, resp)
+			if string(got) != string(want) {
+				t.Errorf("%s via node %d: body differs from standalone\ngot:  %q\nwant: %q", req.name, i, got, want)
+			}
+			if node := resp.Header.Get(cluster.HeaderNode); node == "" {
+				t.Errorf("%s via node %d: missing %s header", req.name, i, cluster.HeaderNode)
+			}
+		}
+	}
+}
+
+// TestNodeHeaderAndStats pins the observability surface on a standalone
+// server: every response names its node, /v1/stats carries the node block,
+// GET /v1/cluster reports unclustered, and the cluster-protocol POSTs are
+// refused.
+func TestNodeHeaderAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(cluster.HeaderNode); got != standaloneNodeID {
+		t.Errorf("%s = %q, want %q", cluster.HeaderNode, got, standaloneNodeID)
+	}
+	st := decodeBody[Stats](t, resp)
+	if st.Node == nil {
+		t.Fatal("stats has no node block")
+	}
+	if st.Node.ID != standaloneNodeID {
+		t.Errorf("stats node id = %q, want %q", st.Node.ID, standaloneNodeID)
+	}
+	if st.Node.Cluster != nil {
+		t.Errorf("standalone stats should have no cluster block, got %+v", st.Node.Cluster)
+	}
+
+	cresp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	cs := decodeBody[clusterStatusResponse](t, cresp)
+	if cs.Clustered || cs.Node != standaloneNodeID {
+		t.Errorf("GET /v1/cluster = %+v, want clustered=false node=%s", cs, standaloneNodeID)
+	}
+
+	for _, path := range []string{"/v1/cluster/gossip", "/v1/cluster/replicate", "/v1/cluster/steal"} {
+		resp := post(t, ts, path, `{}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("POST %s on standalone = %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestClusterStatsAndHeader pins the clustered observability surface: node
+// IDs are distinct, the stats cluster block sees every peer, and a
+// forwarded response names the owner that served it.
+func TestClusterStatsAndHeader(t *testing.T) {
+	nodes := newTestCluster(t, 3, 2, nil)
+	seen := map[string]bool{}
+	for i, node := range nodes {
+		resp, err := http.Get(node.url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeBody[Stats](t, resp)
+		resp.Body.Close()
+		if st.Node == nil || st.Node.Cluster == nil {
+			t.Fatalf("node %d stats has no cluster block", i)
+		}
+		if st.Node.Cluster.Size != 3 || st.Node.Cluster.Replication != 2 {
+			t.Errorf("node %d cluster size/replication = %d/%d, want 3/2",
+				i, st.Node.Cluster.Size, st.Node.Cluster.Replication)
+		}
+		if seen[st.Node.ID] {
+			t.Errorf("duplicate node id %q", st.Node.ID)
+		}
+		seen[st.Node.ID] = true
+		if got := resp.Header.Get(cluster.HeaderNode); got != st.Node.ID {
+			t.Errorf("node %d header %q != stats id %q", i, got, st.Node.ID)
+		}
+	}
+}
+
+// cacheEntries polls a node's cache entry count.
+func cacheEntries(node testClusterNode) int {
+	return node.srv.Stats().Cache.Entries
+}
+
+// TestClusterReplicationSurvivesNodeDeath pins the availability contract:
+// a computed result is replicated across its replica set, so killing one
+// holder loses nothing — survivors keep serving the identical bytes without
+// recomputation being observable to the client.
+func TestClusterReplicationSurvivesNodeDeath(t *testing.T) {
+	nodes := newTestCluster(t, 3, 2, nil)
+	const path, body = "/v1/sweep", `{"sample":{"seed":77,"n":15},"alpha_grid":11}`
+
+	resp := postURL(t, nodes[0].url, path, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	want := readAll(t, resp)
+
+	// Replication is asynchronous: wait until two replicas hold the body.
+	deadline := time.Now().Add(5 * time.Second)
+	var holders []int
+	for time.Now().Before(deadline) {
+		holders = holders[:0]
+		for i, node := range nodes {
+			if cacheEntries(node) > 0 {
+				holders = append(holders, i)
+			}
+		}
+		if len(holders) >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(holders) < 2 {
+		t.Fatalf("replication never reached 2 nodes (holders %v)", holders)
+	}
+
+	// Kill one holder outright: unreachable over HTTP and its loops down,
+	// like a kill -9 of the process.
+	dead := holders[0]
+	nodes[dead].http.Close()
+	nodes[dead].srv.Close(context.Background())
+
+	for i, node := range nodes {
+		if i == dead {
+			continue
+		}
+		resp := postURL(t, node.url, path, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("survivor %d: status = %d", i, resp.StatusCode)
+		}
+		got := readAll(t, resp)
+		if string(got) != string(want) {
+			t.Errorf("survivor %d: body differs after node death", i)
+		}
+	}
+}
+
+// TestClusterStealEndpoint drives the work-stealing protocol end to end,
+// with the timing made deterministic in-process: the victim's single worker
+// is blocked, a queued job is leased out over /v1/cluster/steal (exactly
+// once), the thief computes it through its own engine path, pushes the body
+// back, and the victim's queued job completes bit-identically.
+func TestClusterStealEndpoint(t *testing.T) {
+	nodes := newTestCluster(t, 2, 2, func(i int, cfg *Config) {
+		cfg.JobWorkers = 1
+		// The loops must not race this test's manual protocol calls.
+		cfg.Cluster.GossipInterval = time.Hour
+		cfg.Cluster.StealInterval = time.Hour
+	})
+	victim, thief := nodes[0], nodes[1]
+
+	// Occupy the victim's only worker so the next submission stays queued.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	_, err := victim.srv.manager.Submit("experiment", "block", 1, jobSubmission{}, func(ctx context.Context, j *jobs.Job) error {
+		close(running)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer releaseOnce(release)
+	<-running
+
+	const jobReq = `{"sample":{"seed":41,"n":10},"alpha_grid":11}`
+	resp := postURL(t, victim.url, "/v1/jobs", `{"type":"sweep","request":`+jobReq+`}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	queued := decodeBody[jobs.Status](t, resp)
+
+	// First steal leases the queued job; the second finds nothing left.
+	sresp := postURL(t, victim.url, cluster.PathSteal, `{"from":"n-test"}`)
+	stolen := decodeBody[cluster.StealResponse](t, sresp)
+	if stolen.Job == nil {
+		t.Fatal("steal returned no job")
+	}
+	if stolen.Job.Type != "sweep" || stolen.Job.Key != queued.Key {
+		t.Fatalf("stolen job = %+v, want sweep %s", stolen.Job, queued.Key)
+	}
+	again := decodeBody[cluster.StealResponse](t, postURL(t, victim.url, cluster.PathSteal, `{"from":"n-test"}`))
+	if again.Job != nil {
+		t.Fatalf("second steal leased %+v, want nothing (single-flight)", again.Job)
+	}
+
+	// The thief computes the stolen submission through its own engine path
+	// and pushes the body back, exactly as its steal loop would.
+	key, body, err := thief.srv.clusterHooks().RunStolen(context.Background(), stolen.Job.Type, stolen.Job.Request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != stolen.Job.Key {
+		t.Fatalf("thief computed key %s, want %s", key, stolen.Job.Key)
+	}
+	req, err := http.NewRequest(http.MethodPost, victim.url+cluster.PathReplicate, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.HeaderKey, key)
+	rresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("replicate status = %d", rresp.StatusCode)
+	}
+
+	// Unblock the worker; the victim's queued job should finish as a cache
+	// hit on the pushed body and serve the identical bytes.
+	releaseOnce(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(victim.url + "/v1/jobs/" + queued.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeBody[jobs.Status](t, resp)
+		resp.Body.Close()
+		if st.State == jobs.StateDone {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err := http.Get(victim.url + "/v1/jobs/" + queued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	got := readAll(t, res)
+	if string(got) != string(body) {
+		t.Fatal("victim job result differs from the thief's pushed body")
+	}
+
+	vstats := victim.srv.Stats()
+	if vstats.Jobs.Stolen != 1 {
+		t.Errorf("victim jobs.stolen = %d, want 1", vstats.Jobs.Stolen)
+	}
+	if vstats.Node.StealsServed != 1 {
+		t.Errorf("victim steals_served = %d, want 1", vstats.Node.StealsServed)
+	}
+	if vstats.Node.ReplicasReceived == 0 {
+		t.Error("victim replicas_received = 0, want > 0")
+	}
+}
+
+// releaseOnce closes ch if it is still open.
+func releaseOnce(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+}
+
+// TestClusterReplicateValidation pins the replica-admission guards.
+func TestClusterReplicateValidation(t *testing.T) {
+	nodes := newTestCluster(t, 2, 2, nil)
+	cases := []struct {
+		name, key, body string
+	}{
+		{"missing key", "", `{"x":1}`},
+		{"short key", "abc123", `{"x":1}`},
+		{"non-hex key", strings.Repeat("z", 64), `{"x":1}`},
+		{"empty body", strings.Repeat("a", 64), ""},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(http.MethodPost, nodes[0].url+cluster.PathReplicate, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.key != "" {
+			req.Header.Set(cluster.HeaderKey, tc.key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStealQueuedManager unit-tests the lease semantics on the manager
+// directly: FIFO order, at-most-once leasing, eligibility filtering, and
+// the stolen counter.
+func TestStealQueuedManager(t *testing.T) {
+	m := jobs.NewManager(1, 0)
+	defer m.Close(context.Background())
+	release := make(chan struct{})
+	running := make(chan struct{})
+	defer releaseOnce(release)
+	if _, err := m.Submit("blocker", "k-block", 1, nil, func(ctx context.Context, j *jobs.Job) error {
+		close(running)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	noop := func(ctx context.Context, j *jobs.Job) error { return nil }
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit("sweep", fmt.Sprintf("k%d", i), 1, fmt.Sprintf("meta%d", i), noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.QueuedLen(); got != 3 {
+		t.Fatalf("QueuedLen = %d, want 3", got)
+	}
+
+	// k0 is filtered out (e.g. already cached), so the first steal leases
+	// k1, the next k2, then nothing is left.
+	eligible := func(key string) bool { return key != "k0" && key != "k-block" }
+	typ, key, meta, ok := m.StealQueued(eligible)
+	if !ok || typ != "sweep" || key != "k1" || meta != "meta1" {
+		t.Fatalf("first steal = %q %q %v %v, want sweep k1 meta1 true", typ, key, meta, ok)
+	}
+	_, key, _, ok = m.StealQueued(eligible)
+	if !ok || key != "k2" {
+		t.Fatalf("second steal key = %q ok=%v, want k2 true", key, ok)
+	}
+	if _, _, _, ok := m.StealQueued(eligible); ok {
+		t.Fatal("third steal should find nothing")
+	}
+	if got := m.Stats().Stolen; got != 2 {
+		t.Fatalf("stolen = %d, want 2", got)
+	}
+}
+
+// TestClusterForwardLoopGuard pins the loop guard: a request already marked
+// forwarded is always served locally, so two nodes can never bounce a
+// request back and forth.
+func TestClusterForwardLoopGuard(t *testing.T) {
+	nodes := newTestCluster(t, 3, 1, nil)
+	const path, body = "/v1/experiment", `{"p":6,"alpha":0.2}`
+	// Send to every node with the forwarded mark set: each must answer
+	// itself (node header == its own id), never relay.
+	for i, node := range nodes {
+		req, err := http.NewRequest(http.MethodPost, node.url+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(cluster.HeaderForwarded, "n-test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Header.Get(cluster.HeaderNode)
+		want := nodes[i].srv.nodeID()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got != want {
+			t.Errorf("node %d served as %q, want itself (%q)", i, got, want)
+		}
+	}
+}

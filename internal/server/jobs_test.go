@@ -28,7 +28,10 @@ func newStoreServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Se
 		}
 		cfg.Store = store
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	closed := false
 	shutdown := func() {

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"ulba"
+	"ulba/internal/cluster"
 	"ulba/internal/jobs"
 )
 
@@ -58,6 +60,14 @@ type Config struct {
 	// JobRetention is how long finished jobs stay listable; 0 selects the
 	// 1 h default, negative keeps them forever.
 	JobRetention time.Duration
+
+	// Cluster, when non-nil, joins this server to a multi-replica cluster
+	// (cmd/ulba-serve: -peers/-self/-replication): requests are forwarded
+	// to the owner replicas of their content address, completed bodies are
+	// replicated across each key's replica set, and idle replicas steal
+	// queued jobs from loaded ones. Nil serves standalone; the
+	// /v1/cluster/* routes are registered either way.
+	Cluster *cluster.Options
 }
 
 // Server routes the service endpoints and owns the result cache, the
@@ -69,6 +79,7 @@ type Server struct {
 	cache   *Cache
 	store   *jobs.Store
 	manager *jobs.Manager
+	node    *cluster.Node // nil when standalone
 	sem     chan struct{}
 	mux     *http.ServeMux
 	routes  []string
@@ -77,10 +88,15 @@ type Server struct {
 	requests   atomic.Uint64
 	engineRuns atomic.Uint64
 	seeded     int
+
+	forwardedIn      atomic.Uint64
+	replicasReceived atomic.Uint64
+	stealsServed     atomic.Uint64
 }
 
 // New builds a Server from cfg (see Config for the zero-value defaults).
-func New(cfg Config) *Server {
+// The only construction failure is an invalid cluster configuration.
+func New(cfg Config) (*Server, error) {
 	budget := cfg.CacheBytes
 	switch {
 	case budget == 0:
@@ -128,6 +144,14 @@ func New(cfg Config) *Server {
 			return body, ok && err == nil
 		}
 	}
+	if cfg.Cluster != nil {
+		node, err := cluster.New(*cfg.Cluster, s.clusterHooks())
+		if err != nil {
+			s.manager.Close(context.Background())
+			return nil, err
+		}
+		s.node = node
+	}
 	s.route("GET /v1/registries", s.handleRegistries)
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("POST /v1/experiment", s.handleExperiment)
@@ -140,7 +164,14 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	return s
+	s.route("GET /v1/cluster", s.handleClusterStatus)
+	s.route("POST /v1/cluster/gossip", s.handleClusterGossip)
+	s.route("POST /v1/cluster/replicate", s.handleClusterReplicate)
+	s.route("POST /v1/cluster/steal", s.handleClusterSteal)
+	if s.node != nil {
+		s.node.Start()
+	}
+	return s, nil
 }
 
 // route registers a handler and records its pattern, so Routes stays the
@@ -163,6 +194,11 @@ func (s *Server) Routes() []string {
 // closed. The HTTP handler itself is stateless — shut the http.Server down
 // first, then Close.
 func (s *Server) Close(ctx context.Context) error {
+	if s.node != nil {
+		// Stop the gossip/steal loops (and wait out in-flight replica
+		// pushes) before draining jobs, so nothing new arrives mid-drain.
+		s.node.Close()
+	}
 	err := s.manager.Close(ctx)
 	if s.store != nil {
 		if cerr := s.store.Close(); err == nil {
@@ -176,6 +212,17 @@ func (s *Server) Close(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		// Every response names its serving node; a relayed response
+		// overwrites this with the owner's name in maybeForward.
+		w.Header().Set(cluster.HeaderNode, s.nodeID())
+		if s.node != nil {
+			if from := r.Header.Get(cluster.HeaderFrom); from != "" {
+				s.node.Observe(from)
+			}
+			if r.Header.Get(cluster.HeaderForwarded) != "" {
+				s.forwardedIn.Add(1)
+			}
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		s.mux.ServeHTTP(w, r)
 	})
@@ -188,6 +235,7 @@ type Stats struct {
 	Cache      CacheStats  `json:"cache"`
 	Jobs       jobs.Stats  `json:"jobs"`
 	Store      *StoreStats `json:"store,omitempty"`
+	Node       *NodeStats  `json:"node"`
 }
 
 // StoreStats describes the persistent result store, when one is configured.
@@ -214,6 +262,7 @@ func (s *Server) Stats() Stats {
 	if s.store != nil {
 		st.Store = &StoreStats{Entries: s.store.Len(), Bytes: s.store.Bytes(), Seeded: s.seeded}
 	}
+	st.Node = s.nodeStats()
 	return st
 }
 
@@ -255,6 +304,17 @@ func writeEngineError(w http.ResponseWriter, err error) {
 // default.
 func decode(r *http.Request, into any) error {
 	return decodeStrict(r.Body, into)
+}
+
+// readBody slurps a request body (already bounded by MaxBytesReader) so the
+// engine handlers can both parse it and relay the identical bytes when the
+// request forwards to its owner replica.
+func readBody(r *http.Request) ([]byte, error) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("invalid request body: %w", err)
+	}
+	return raw, nil
 }
 
 // decodeStrict is decode over any reader — the same rules applied to the
@@ -308,6 +368,12 @@ func (s *Server) render(ctx context.Context, key string, render func(ctx context
 // requirement — a failed write only costs a future recomputation — so
 // errors do not fail the request.
 func (s *Server) persist(key string, body []byte) {
+	if s.node != nil {
+		// Push the freshly computed body to the key's other owners. The
+		// push lands through admitReplica, which never re-replicates, so
+		// replication cannot cascade.
+		s.node.ReplicateAsync(key, body)
+	}
 	if s.store == nil {
 		return
 	}
@@ -345,11 +411,17 @@ func (s *Server) computeBody(ctx context.Context, key string, compute func(ctx c
 // serveCached answers one unary engine request through the cache: compute
 // runs at most once per content address across concurrent and repeated
 // requests, under an engine slot. The cached body is fully rendered, so
-// hits, joins, and store reads are byte-identical to fresh misses.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, canonical any, compute func(ctx context.Context) (any, error)) {
+// hits, joins, and store reads are byte-identical to fresh misses. In a
+// cluster, a request whose content address this node does not own is
+// relayed to an owner replica first (raw is the exact client body);
+// determinism makes the relayed bytes identical to a local computation.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, raw []byte, canonical any, compute func(ctx context.Context) (any, error)) {
 	key, err := cacheKey(endpoint, canonical)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if s.maybeForward(w, r, endpoint, key, raw) {
 		return
 	}
 	ctx := r.Context()
@@ -401,8 +473,13 @@ type experimentResponse struct {
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	raw, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req experimentRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -411,7 +488,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, "/v1/experiment", req.canonical(), experimentCompute(exp, req.Compare))
+	s.serveCached(w, r, "/v1/experiment", raw, req.canonical(), experimentCompute(exp, req.Compare))
 }
 
 // experimentCompute renders one experiment (optionally compared) response,
@@ -450,8 +527,13 @@ type sweepResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	raw, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req sweepRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -466,7 +548,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.serveCached(w, r, "/v1/sweep", req.canonical(), sweepCompute(sweep, materialize))
+	s.serveCached(w, r, "/v1/sweep", raw, req.canonical(), sweepCompute(sweep, materialize))
 }
 
 // sweepCompute renders one unary sweep response, shared by POST /v1/sweep
@@ -490,8 +572,13 @@ type runtimeResponse struct {
 }
 
 func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
+	raw, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req runtimeRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -500,7 +587,7 @@ func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, "/v1/runtime", req.canonical(), runtimeCompute(exp))
+	s.serveCached(w, r, "/v1/runtime", raw, req.canonical(), runtimeCompute(exp))
 }
 
 // runtimeCompute renders one runtime-scenario response, shared by
@@ -523,8 +610,13 @@ type runtimeSweepResponse struct {
 }
 
 func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
+	raw, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req runtimeSweepRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -544,7 +636,7 @@ func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.serveCached(w, r, "/v1/runtime-sweep", req.canonical(), runtimeSweepCompute(sweep, materialize))
+	s.serveCached(w, r, "/v1/runtime-sweep", raw, req.canonical(), runtimeSweepCompute(sweep, materialize))
 }
 
 // runtimeSweepCompute renders one unary runtime-sweep response, shared by

@@ -14,13 +14,23 @@ import (
 	"ulba/internal/server"
 )
 
+// mustServer builds a standalone server for the examples; with no cluster
+// configured, construction cannot fail.
+func mustServer() *server.Server {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return srv
+}
+
 // Example_server runs the HTTP service layer in-process and drives one
 // cached sweep through it: the first request computes, the identical
 // second request is served from the deterministic result cache with
 // bit-identical bytes. cmd/ulba-serve wraps the same handler into a
 // deployable binary; see API.md for the full endpoint reference.
 func Example_server() {
-	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	ts := httptest.NewServer(mustServer().Handler())
 	defer ts.Close()
 
 	const req = `{"sample": {"seed": 2019, "n": 100}, "alpha_grid": 21}`
@@ -68,7 +78,7 @@ func Example_server() {
 // the result would additionally survive a restart, and an interrupted
 // job's checkpoint would let a resubmission resume; see API.md.
 func Example_serverJobs() {
-	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	ts := httptest.NewServer(mustServer().Handler())
 	defer ts.Close()
 
 	const request = `{"sample": {"seed": 2019, "n": 100}, "alpha_grid": 21}`
