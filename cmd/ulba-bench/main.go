@@ -6,16 +6,21 @@
 // an artifact, so regressions in the hot path show up as a broken
 // trajectory rather than an anecdote.
 //
-// The workload is pinned (seed, instance count, alpha grid), and the
-// summary block of the output is bit-deterministic: any change there means
-// the evaluation semantics moved, not just the clock. The tool exits
-// non-zero if the fast and slow paths disagree.
+// The output file is a JSON array and every run appends one timestamped
+// entry (a legacy single-object file is wrapped on first append), so the
+// trajectory accumulates instead of overwriting itself. The workload is
+// pinned (seed, instance count, alpha grid), and the summary block of each
+// entry is bit-deterministic: any change there means the evaluation
+// semantics moved, not just the clock. The tool exits non-zero if the fast
+// and slow paths disagree, or if -against finds the deterministic fields
+// drifted from a baseline trajectory's latest entry.
 //
 // Examples:
 //
-//	ulba-bench                          # full workload, BENCH_sweep.json
+//	ulba-bench                          # full workload, appends to BENCH_sweep.json
 //	ulba-bench -short                   # CI-sized workload
 //	ulba-bench -instances 5000 -out /tmp/bench.json
+//	ulba-bench -short -out /tmp/bench.json -against BENCH_sweep.json
 package main
 
 import (
@@ -23,9 +28,11 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +45,7 @@ import (
 	"ulba"
 	"ulba/internal/cli"
 	"ulba/internal/jobs"
+	"ulba/internal/loadgen"
 	"ulba/internal/schedule"
 	"ulba/internal/server"
 )
@@ -90,6 +98,24 @@ type benchRecord struct {
 	Runtime *runtimeRecord `json:"runtime,omitempty"`
 	Server  *serverRecord  `json:"server,omitempty"`
 	Jobs    *jobsRecord    `json:"jobs,omitempty"`
+	Loadgen *loadgenRecord `json:"loadgen,omitempty"`
+}
+
+// loadgenRecord is the sustained-traffic entry of the trajectory: an
+// in-process ulba-serve under cmd/ulba-loadgen's open-loop Poisson ramp
+// (internal/loadgen.FindMaxRate). MaxSustainedRPS is the highest offered
+// rate the server held with clean responses, bounded shedding, and >= 90%
+// completion; the endpoint blocks carry the tail latencies of that stage.
+// Everything here is the clock — none of it participates in -against.
+type loadgenRecord struct {
+	Clients         int     `json:"clients"`
+	StageSeconds    float64 `json:"stage_seconds"`
+	MaxSustainedRPS float64 `json:"max_sustained_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	Completed       uint64  `json:"completed"`
+	Shed            uint64  `json:"shed"`
+
+	Endpoints []loadgen.EndpointReport `json:"endpoints"`
 }
 
 // jobsRecord is the async entry of the trajectory: the job subsystem
@@ -171,10 +197,13 @@ func main() {
 		scenarios  = flag.Int("runtime-scenarios", 24, "pinned runtime-sweep scenarios (0 skips the runtime entry)")
 		serverReqs = flag.Int("server-requests", 64, "pinned HTTP sweep requests against an in-process ulba-serve (0 skips the server entry)")
 		jobReqs    = flag.Int("job-requests", 32, "pinned async job submissions against a store-backed ulba-serve (0 skips the jobs entry)")
-		out        = flag.String("out", "BENCH_sweep.json", "output file; - for stdout")
+		lgStage    = flag.Duration("loadgen-stage", 2*time.Second, "measurement window per load-ramp stage (0 skips the loadgen entry)")
+		lgClients  = flag.Int("loadgen-clients", 256, "loadgen client pool for the rate ramp")
+		against    = flag.String("against", "", "baseline trajectory to diff the deterministic fields of this run against (its latest entry); exit non-zero on drift")
+		out        = flag.String("out", "BENCH_sweep.json", "trajectory file to append this run's entry to; - prints the entry to stdout")
 	)
 	flag.Parse()
-	instancesSet, scenariosSet, serverReqsSet, jobReqsSet := false, false, false, false
+	instancesSet, scenariosSet, serverReqsSet, jobReqsSet, lgStageSet, lgClientsSet := false, false, false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "instances":
@@ -185,6 +214,10 @@ func main() {
 			serverReqsSet = true
 		case "job-requests":
 			jobReqsSet = true
+		case "loadgen-stage":
+			lgStageSet = true
+		case "loadgen-clients":
+			lgClientsSet = true
 		}
 	})
 	if *short && !instancesSet {
@@ -198,6 +231,12 @@ func main() {
 	}
 	if *short && !jobReqsSet {
 		*jobReqs = 16
+	}
+	if *short && !lgStageSet {
+		*lgStage = time.Second
+	}
+	if *short && !lgClientsSet {
+		*lgClients = 64
 	}
 	if *instances <= 0 {
 		fatal(fmt.Sprintf("-instances must be positive, got %d", *instances))
@@ -303,6 +342,21 @@ func main() {
 		rec.Jobs = jr
 	}
 
+	if *lgStage > 0 {
+		lr, err := measureLoadgen(ctx, *lgClients, *lgStage)
+		if err != nil {
+			fatal("loadgen:", err)
+		}
+		rec.Loadgen = lr
+	}
+
+	if *against != "" {
+		if err := diffAgainst(*against, rec); err != nil {
+			fatal("baseline drift:", err)
+		}
+		fmt.Fprintf(os.Stderr, "deterministic fields match the latest %s entry\n", *against)
+	}
+
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -310,10 +364,8 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-	} else {
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fatal(err)
-		}
+	} else if err := appendEntry(*out, rec); err != nil {
+		fatal(err)
 	}
 
 	fmt.Fprintf(os.Stderr, "sweep: %d instances x %d alphas, %d workers: %.0f instances/sec, %.0f ns/instance, %.2f allocs/instance",
@@ -337,6 +389,155 @@ func main() {
 			rec.Jobs.Jobs, rec.Jobs.Distinct, rec.Jobs.JobsPerSec, rec.Jobs.EngineRuns,
 			rec.Jobs.RestartSeconds*1000, rec.Jobs.RestartEngineRuns)
 	}
+	if rec.Loadgen != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %d clients, %gs stages: %.0f req/s max sustained (%.0f achieved, %d shed)\n",
+			rec.Loadgen.Clients, rec.Loadgen.StageSeconds, rec.Loadgen.MaxSustainedRPS,
+			rec.Loadgen.AchievedRPS, rec.Loadgen.Shed)
+	}
+}
+
+// loadTrajectory reads a trajectory file: a JSON array of entries, or (the
+// legacy format) one bare entry object, wrapped into a one-element slice.
+// A missing or empty file is an empty trajectory.
+func loadTrajectory(path string) ([]json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	data = bytes.TrimSpace(data)
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if data[0] == '[' {
+		var entries []json.RawMessage
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return entries, nil
+	}
+	var one json.RawMessage
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return []json.RawMessage{one}, nil
+}
+
+// appendEntry appends rec to the trajectory at path, preserving every
+// earlier entry (a legacy single-object file becomes the first element).
+func appendEntry(path string, rec benchRecord) error {
+	entries, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, raw)
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// diffAgainst compares this run's deterministic fields against the latest
+// entry of a baseline trajectory. Clock-dependent fields never participate;
+// workload-shaped fields (the sweep summary, the runtime summary) only
+// participate when both runs pinned the same workload, so a -short CI run
+// can still diff its response hashes against a full-size committed
+// baseline.
+func diffAgainst(path string, rec benchRecord) error {
+	entries, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("%s has no entries", path)
+	}
+	var base benchRecord
+	if err := json.Unmarshal(entries[len(entries)-1], &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Seed != rec.Seed {
+		return fmt.Errorf("baseline seed %d != %d — different trajectories", base.Seed, rec.Seed)
+	}
+	if base.Instances == rec.Instances && base.AlphaGrid == rec.AlphaGrid {
+		if base.Summary != rec.Summary {
+			return fmt.Errorf("sweep summary moved:\nbaseline: %+v\nthis run: %+v", base.Summary, rec.Summary)
+		}
+		if base.MeanLBSteps != rec.MeanLBSteps {
+			return fmt.Errorf("mean_lb_steps moved: %v -> %v", base.MeanLBSteps, rec.MeanLBSteps)
+		}
+	}
+	if base.Runtime != nil && rec.Runtime != nil && base.Runtime.Scenarios == rec.Runtime.Scenarios {
+		checks := []struct {
+			name       string
+			base, this float64
+		}{
+			{"runtime median_gain", base.Runtime.MedianGain, rec.Runtime.MedianGain},
+			{"runtime mean_gain", base.Runtime.MeanGain, rec.Runtime.MeanGain},
+			{"runtime median_efficiency", base.Runtime.MedianEfficiency, rec.Runtime.MedianEfficiency},
+			{"runtime mean_lb_calls", base.Runtime.MeanLBCalls, rec.Runtime.MeanLBCalls},
+			{"runtime mean_usage", base.Runtime.MeanUsage, rec.Runtime.MeanUsage},
+		}
+		for _, c := range checks {
+			if c.base != c.this {
+				return fmt.Errorf("%s moved: %v -> %v", c.name, c.base, c.this)
+			}
+		}
+	}
+	if base.Server != nil && rec.Server != nil && base.Server.ResponseSHA256 != rec.Server.ResponseSHA256 {
+		return fmt.Errorf("server response hash moved: %s -> %s — served bytes changed",
+			base.Server.ResponseSHA256, rec.Server.ResponseSHA256)
+	}
+	if base.Jobs != nil && rec.Jobs != nil && base.Jobs.ResponseSHA256 != rec.Jobs.ResponseSHA256 {
+		return fmt.Errorf("jobs response hash moved: %s -> %s — async results changed",
+			base.Jobs.ResponseSHA256, rec.Jobs.ResponseSHA256)
+	}
+	return nil
+}
+
+// measureLoadgen boots an in-process ulba-serve on a real TCP listener and
+// ramps cmd/ulba-loadgen's open-loop Poisson arrival process against it
+// until the server stops sustaining the rate, recording the highest
+// sustained rate and that stage's per-endpoint tail latencies.
+func measureLoadgen(ctx context.Context, clients int, stage time.Duration) (*loadgenRecord, error) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	defer httpSrv.Close()
+	go httpSrv.Serve(ln)
+
+	cfg := loadgen.Config{
+		Targets: []string{"http://" + ln.Addr().String()},
+		Clients: clients,
+		Warmup:  stage / 4,
+		Timeout: 30 * time.Second,
+	}
+	rate, rep, err := loadgen.FindMaxRate(ctx, cfg, 50, stage, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	return &loadgenRecord{
+		Clients:         rep.Clients,
+		StageSeconds:    stage.Seconds(),
+		MaxSustainedRPS: rate,
+		AchievedRPS:     rep.AchievedRPS,
+		Completed:       rep.Completed,
+		Shed:            rep.Shed,
+		Endpoints:       rep.Endpoints,
+	}, nil
 }
 
 // measureJobs drives the asynchronous surface end to end over a real TCP

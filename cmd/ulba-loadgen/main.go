@@ -1,0 +1,204 @@
+// Command ulba-loadgen drives sustained traffic at one or more ulba-serve
+// instances and reports what the servers actually did: an open-loop Poisson
+// (or constant-rate, or closed) arrival process over a weighted mix of
+// engine requests, thousands of concurrent clients, warmup and measurement
+// windows, and a JSON report with per-endpoint p50/p99/p999 latencies,
+// status breakdowns, and error rates (see internal/loadgen).
+//
+//	ulba-loadgen -targets http://localhost:8383 -rate 200 -duration 30s
+//	ulba-loadgen -targets http://a:8383,http://b:8383 -clients 2000 \
+//	    -arrival poisson -rate 1500 -warmup 5s -duration 60s -out report.json
+//	ulba-loadgen -targets http://localhost:8383 -find-max -rate 100
+//
+// Every response is verified for byte identity: the first 200 body seen for
+// a request becomes golden, and any later 200 for the same request must be
+// bit-identical — the determinism contract the result cache rests on. With
+// -check the exit status enforces a clean run: any transport error, any
+// status outside {2xx, 429}, any byte-identity mismatch, or (single target)
+// any disagreement between the generator's counts and the server's
+// /metrics histograms fails the process.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ulba/internal/loadgen"
+)
+
+func main() {
+	var (
+		targets     = flag.String("targets", "http://localhost:8383", "comma-separated base URLs traffic round-robins over")
+		arrival     = flag.String("arrival", loadgen.ArrivalPoisson, "arrival process: poisson, constant, or closed")
+		rate        = flag.Float64("rate", 100, "offered arrival rate per second (open-loop modes)")
+		clients     = flag.Int("clients", 256, "concurrent client pool; open-loop arrivals finding every client busy are dropped, not delayed")
+		warmup      = flag.Duration("warmup", 2*time.Second, "warmup window: requests are issued and verified but excluded from the latency report")
+		duration    = flag.Duration("duration", 30*time.Second, "measurement window after warmup")
+		maxRequests = flag.Int("max-requests", 0, "stop after this many arrivals instead of after -duration (deterministic accounting mode)")
+		seed        = flag.Uint64("seed", 1, "arrival-schedule seed; equal seeds offer equal schedules")
+		mixSpec     = flag.String("mix", "", "request mix as endpoint:weight:distinct:size CSV (e.g. sweep:6:8:50,runtime:3:6:30); empty uses the default sweep-heavy blend")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout; 0 disables")
+		out         = flag.String("out", "", "write the JSON report here instead of stdout")
+		check       = flag.Bool("check", false, "exit non-zero unless the run was clean (only 2xx/429, no transport errors, no byte mismatches) and, with one target, its /metrics histogram counts equal the observed responses")
+		findMax     = flag.Bool("find-max", false, "ramp mode: double the rate from -rate until the target stops sustaining it, report the best stage")
+		stage       = flag.Duration("stage", 5*time.Second, "measurement window per ramp stage (with -find-max)")
+		maxShedFrac = flag.Float64("max-shed-frac", 0.01, "ramp stages shedding more than this fraction of completions do not count as sustained (with -find-max)")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Targets:     splitTargets(*targets),
+		Arrival:     *arrival,
+		Rate:        *rate,
+		Clients:     *clients,
+		Warmup:      *warmup,
+		Duration:    *duration,
+		MaxRequests: *maxRequests,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	}
+	if *mixSpec != "" {
+		mix, err := parseMix(*mixSpec)
+		if err != nil {
+			log.Fatalf("ulba-loadgen: %v", err)
+		}
+		cfg.Mix = mix
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		rep     *loadgen.Report
+		maxRate float64
+		err     error
+	)
+	if *findMax {
+		maxRate, rep, err = loadgen.FindMaxRate(ctx, cfg, *rate, *stage, *maxShedFrac)
+	} else {
+		rep, err = loadgen.Run(ctx, cfg)
+	}
+	if err != nil {
+		log.Fatalf("ulba-loadgen: %v", err)
+	}
+
+	clean := true
+	if err := rep.Verify(); err != nil {
+		fmt.Fprintf(os.Stderr, "ulba-loadgen: %v\n", err)
+		clean = false
+	}
+	// Cross-check the server's books against ours. Only sound against a
+	// single target we were the only client of, so it gates the exit status
+	// just in that shape; multi-target runs settle for the local verify.
+	if *check && len(cfg.Targets) == 1 {
+		if err := crossCheck(ctx, cfg.Targets[0], rep); err != nil {
+			fmt.Fprintf(os.Stderr, "ulba-loadgen: %v\n", err)
+			clean = false
+		}
+	}
+
+	report := struct {
+		*loadgen.Report
+		MaxSustainedRPS float64 `json:"max_sustained_rps,omitempty"`
+	}{Report: rep, MaxSustainedRPS: maxRate}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("ulba-loadgen: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatalf("ulba-loadgen: %v", err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if *check && !clean {
+		os.Exit(1)
+	}
+}
+
+// splitTargets splits the -targets CSV, trimming blanks and trailing
+// slashes so "http://x:1/," round-trips to one usable base URL.
+func splitTargets(s string) []string {
+	var targets []string
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimRight(strings.TrimSpace(t), "/")
+		if t != "" {
+			targets = append(targets, t)
+		}
+	}
+	return targets
+}
+
+// parseMix parses the endpoint:weight:distinct:size CSV of -mix. Distinct
+// and size may be omitted (":" separators are still required up to the last
+// field given): "sweep:4" weights sweeps 4 with defaults for the rest.
+func parseMix(spec string) ([]loadgen.MixEntry, error) {
+	var mix []loadgen.MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) > 4 {
+			return nil, fmt.Errorf("mix entry %q: want endpoint:weight[:distinct[:size]]", part)
+		}
+		e := loadgen.MixEntry{Endpoint: fields[0], Weight: 1, Distinct: 1}
+		for i, name := range []string{"weight", "distinct", "size"} {
+			if len(fields) <= i+1 {
+				break
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("mix entry %q: bad %s: %v", part, name, err)
+			}
+			switch i {
+			case 0:
+				e.Weight = n
+			case 1:
+				e.Distinct = n
+			case 2:
+				e.Size = n
+			}
+		}
+		mix = append(mix, e)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q is empty", spec)
+	}
+	return mix, nil
+}
+
+// crossCheck scrapes the target's /metrics and verifies its per-endpoint
+// histogram counts equal the responses this run observed.
+func crossCheck(ctx context.Context, target string, rep *loadgen.Report) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("scraping %s/metrics: %v", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scraping %s/metrics: status %d", target, resp.StatusCode)
+	}
+	counts, err := loadgen.ScrapeEndpointCounts(resp.Body)
+	if err != nil {
+		return err
+	}
+	return rep.VerifyServerCounts(counts)
+}

@@ -51,6 +51,9 @@ func main() {
 		storeDir        = flag.String("store-dir", "", "directory for the persistent result store and job checkpoints; empty keeps results in memory only")
 		jobWorkers      = flag.Int("job-workers", 0, "max jobs running concurrently; <= 0 selects GOMAXPROCS")
 		jobRetention    = flag.Duration("job-retention", time.Hour, "how long finished jobs stay listable; 0 keeps them forever")
+		maxInflight     = flag.Int("max-inflight", 0, "admission control: max engine-bound requests admitted at once before shedding with 429 (cache hits bypass); 0 selects 64x -max-concurrent, negative disables")
+		maxQueuedJobs   = flag.Int("max-queued-jobs", 256, "admission control: max queued jobs before POST /v1/jobs sheds with 429 (cached submissions bypass); 0 leaves the queue unbounded")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with every 429, rounded up to whole seconds")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests and running jobs on SIGINT/SIGTERM")
 		peers           = flag.String("peers", "", "comma-separated base URLs of every cluster member including this one (e.g. http://10.0.0.1:8383,http://10.0.0.2:8383); empty serves standalone")
 		selfURL         = flag.String("self", "", "this node's base URL as peers reach it; required with -peers")
@@ -72,6 +75,9 @@ func main() {
 		MaxBodyBytes:  *maxBodyMB << 20,
 		JobWorkers:    *jobWorkers,
 		JobRetention:  retention,
+		MaxInflight:   *maxInflight,
+		MaxQueuedJobs: *maxQueuedJobs,
+		RetryAfter:    *retryAfter,
 	}
 	if *storeDir != "" {
 		store, err := jobs.Open(*storeDir)

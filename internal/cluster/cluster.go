@@ -165,6 +165,7 @@ type Node struct {
 
 	gossipExchanges, gossipFailures atomic.Uint64
 	forwards, forwardFailures       atomic.Uint64
+	forwardsShed                    atomic.Uint64
 	replicasSent, replicaFailures   atomic.Uint64
 	stealsRun, stealFailures        atomic.Uint64
 
@@ -571,6 +572,11 @@ func (n *Node) Forward(ctx context.Context, m Member, endpoint string, body []by
 		return nil, err
 	}
 	n.forwards.Add(1)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// The owner admitted the relay but shed it: count separately, so
+		// an overloaded owner is visible from the forwarding side too.
+		n.forwardsShed.Add(1)
+	}
 	n.markAlive(m.Index)
 	return resp, nil
 }
@@ -639,6 +645,9 @@ type Stats struct {
 	GossipFailures  uint64 `json:"gossip_failures"`
 	Forwards        uint64 `json:"forwards"`
 	ForwardFailures uint64 `json:"forward_failures"`
+	// ForwardsShed counts forwards the owner answered with 429 — relayed
+	// admission-control rejections, as opposed to transport failures.
+	ForwardsShed    uint64 `json:"forwards_shed"`
 	ReplicasSent    uint64 `json:"replicas_sent"`
 	ReplicaFailures uint64 `json:"replica_failures"`
 	StealsRun       uint64 `json:"steals_run"`
@@ -655,6 +664,7 @@ func (n *Node) Stats() Stats {
 		GossipFailures:  n.gossipFailures.Load(),
 		Forwards:        n.forwards.Load(),
 		ForwardFailures: n.forwardFailures.Load(),
+		ForwardsShed:    n.forwardsShed.Load(),
 		ReplicasSent:    n.replicasSent.Load(),
 		ReplicaFailures: n.replicaFailures.Load(),
 		StealsRun:       n.stealsRun.Load(),

@@ -202,15 +202,17 @@ type Manager struct {
 	ctx       context.Context
 	cancelAll context.CancelFunc
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	jobs      map[string]*Job
-	order     []*Job // submission order; List reports newest first
-	queue     []*Job // FIFO of jobs awaiting a worker
-	seq       int
-	closed    bool
-	submitted uint64
-	stolen    uint64
+	mu         sync.Mutex
+	cond       *sync.Cond
+	jobs       map[string]*Job
+	order      []*Job // submission order; List reports newest first
+	queue      []*Job // FIFO of jobs awaiting a worker
+	queueLimit int    // 0 = unbounded; Submit sheds beyond it
+	seq        int
+	closed     bool
+	submitted  uint64
+	stolen     uint64
+	shed       uint64
 
 	wg sync.WaitGroup
 }
@@ -239,15 +241,49 @@ func NewManager(workers int, retention time.Duration) *Manager {
 	return m
 }
 
+// ErrQueueFull rejects a submission when the queue has reached the
+// configured depth limit — the admission-control signal the server maps to
+// 429 Too Many Requests. The job was never created; resubmitting later is
+// safe and free (determinism makes retries idempotent by content address).
+var ErrQueueFull = errors.New("jobs: queue is full")
+
+// SetQueueLimit bounds how many jobs may wait for a worker at once; 0 (the
+// default) is unbounded. Submissions beyond the bound fail with
+// ErrQueueFull; SubmitHot is exempt. Set it before serving traffic.
+func (m *Manager) SetQueueLimit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueLimit = n
+}
+
 // Submit enqueues a job. total is the declared unit count for progress
 // reporting (Begin may refine it); meta rides along for the submitter.
+// When a queue limit is set and reached, Submit fails with ErrQueueFull.
 func (m *Manager) Submit(typ, key string, total int, meta any, run RunFunc) (*Job, error) {
+	return m.submit(typ, key, total, meta, run, false)
+}
+
+// SubmitHot is Submit for a job whose result already exists (the
+// submitter has the key cached): it bypasses the queue-depth limit and
+// jumps to the front of the queue, so a hot-key job completes promptly no
+// matter how deep the cold backlog is — the job-surface half of the
+// cache-hit fast path that keeps admission control from shedding work
+// that costs nothing.
+func (m *Manager) SubmitHot(typ, key string, total int, meta any, run RunFunc) (*Job, error) {
+	return m.submit(typ, key, total, meta, run, true)
+}
+
+func (m *Manager) submit(typ, key string, total int, meta any, run RunFunc, hot bool) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, fmt.Errorf("jobs: manager is shut down")
 	}
 	m.pruneLocked()
+	if !hot && m.queueLimit > 0 && len(m.queue) >= m.queueLimit {
+		m.shed++
+		return nil, ErrQueueFull
+	}
 	m.seq++
 	m.submitted++
 	ctx, cancel := context.WithCancel(m.ctx)
@@ -266,7 +302,11 @@ func (m *Manager) Submit(typ, key string, total int, meta any, run RunFunc) (*Jo
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j)
-	m.queue = append(m.queue, j)
+	if hot {
+		m.queue = append([]*Job{j}, m.queue...)
+	} else {
+		m.queue = append(m.queue, j)
+	}
 	m.cond.Signal()
 	return j, nil
 }
@@ -327,12 +367,16 @@ type Stats struct {
 	// Stolen counts queued jobs leased to work-stealing cluster peers.
 	// A stolen job still runs locally — the lease only means a peer is
 	// (probably) turning it into a cache hit.
-	Stolen    uint64 `json:"stolen"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
-	Done      int    `json:"done"`
-	Failed    int    `json:"failed"`
-	Cancelled int    `json:"cancelled"`
+	Stolen uint64 `json:"stolen"`
+	// Shed counts submissions rejected by the queue-depth limit
+	// (ErrQueueFull); QueueLimit is the configured bound (0 = unbounded).
+	Shed       uint64 `json:"shed"`
+	QueueLimit int    `json:"queue_limit"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Cancelled  int    `json:"cancelled"`
 }
 
 // Stats counts the retained jobs by state (plus the cumulative submission
@@ -342,7 +386,7 @@ func (m *Manager) Stats() Stats {
 	m.pruneLocked()
 	jobsCopy := make([]*Job, len(m.order))
 	copy(jobsCopy, m.order)
-	st := Stats{Submitted: m.submitted, Stolen: m.stolen}
+	st := Stats{Submitted: m.submitted, Stolen: m.stolen, Shed: m.shed, QueueLimit: m.queueLimit}
 	m.mu.Unlock()
 	for _, j := range jobsCopy {
 		switch j.Status().State {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -236,5 +237,69 @@ func TestCloseGracefulAndForced(t *testing.T) {
 	}
 	if st := j2.Status(); st.State != StateCancelled {
 		t.Fatalf("stuck job after forced close = %+v", st)
+	}
+}
+
+// TestQueueLimit pins the admission-control contract of the job queue:
+// cold submissions beyond the configured depth fail with ErrQueueFull (and
+// count as shed), while SubmitHot both bypasses the limit and jumps the
+// queue, so already-computed work is never shed behind a cold backlog.
+func TestQueueLimit(t *testing.T) {
+	m := NewManager(1, 0)
+	defer m.Close(context.Background())
+	m.SetQueueLimit(2)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker, _ := m.Submit("sweep", "blocker", 1, nil, func(ctx context.Context, j *Job) error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started // the single worker is now occupied; the queue is empty
+
+	var ranMu sync.Mutex
+	var ran []string
+	runner := func(name string) RunFunc {
+		return func(ctx context.Context, j *Job) error {
+			ranMu.Lock()
+			ran = append(ran, name)
+			ranMu.Unlock()
+			return nil
+		}
+	}
+	cold1, err := m.Submit("sweep", "cold1", 1, nil, runner("cold1"))
+	if err != nil {
+		t.Fatalf("cold1: %v", err)
+	}
+	cold2, err := m.Submit("sweep", "cold2", 1, nil, runner("cold2"))
+	if err != nil {
+		t.Fatalf("cold2: %v", err)
+	}
+	// Boundary: the queue holds exactly limit jobs; the next cold submit
+	// sheds without creating a job.
+	if _, err := m.Submit("sweep", "cold3", 1, nil, runner("cold3")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-limit Submit = %v, want ErrQueueFull", err)
+	}
+	// A hot submission is exempt from the limit and runs before the
+	// queued cold jobs.
+	hot, err := m.SubmitHot("sweep", "hot", 1, nil, runner("hot"))
+	if err != nil {
+		t.Fatalf("SubmitHot: %v", err)
+	}
+	if st := m.Stats(); st.Shed != 1 || st.QueueLimit != 2 || st.Queued != 3 {
+		t.Fatalf("stats = %+v, want shed=1 limit=2 queued=3", st)
+	}
+
+	close(release)
+	wait(t, blocker, "blocker done", func(s Status) bool { return s.State == StateDone })
+	wait(t, hot, "hot done", func(s Status) bool { return s.State == StateDone })
+	wait(t, cold1, "cold1 done", func(s Status) bool { return s.State == StateDone })
+	wait(t, cold2, "cold2 done", func(s Status) bool { return s.State == StateDone })
+
+	ranMu.Lock()
+	defer ranMu.Unlock()
+	if len(ran) != 3 || ran[0] != "hot" {
+		t.Fatalf("run order = %v, want hot first of three", ran)
 	}
 }

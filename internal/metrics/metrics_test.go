@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout proves the log-linear mapping is a partition: every
+// value lands in a bucket whose bounds actually contain it, and the upper
+// bounds are strictly increasing so cumulative rendering is monotone.
+func TestBucketLayout(t *testing.T) {
+	for i := 1; i < numBuckets; i++ {
+		if bucketUpperNs(i) <= bucketUpperNs(i-1) {
+			t.Fatalf("bucket %d upper %d not above bucket %d upper %d",
+				i, bucketUpperNs(i), i-1, bucketUpperNs(i-1))
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		v := uint64(rng.Int63()) >> uint(rng.Intn(40))
+		i := bucketIndex(v)
+		if v > bucketUpperNs(i) && i != numBuckets-1 {
+			t.Fatalf("value %d above its bucket %d upper %d", v, i, bucketUpperNs(i))
+		}
+		if i > 0 && v <= bucketUpperNs(i-1) {
+			t.Fatalf("value %d not above previous bucket %d upper %d", v, i-1, bucketUpperNs(i-1))
+		}
+	}
+}
+
+// TestQuantileRelativeError checks the advertised 6.25% bound: the
+// reported quantile of a known distribution is an upper bound within one
+// sub-bucket of the true order statistic.
+func TestQuantileRelativeError(t *testing.T) {
+	var h Histogram
+	values := make([]int64, 0, 10000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over ~1us..1s to exercise many octaves.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9/1e3))) * 1e3
+		values = append(values, v)
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d, want 10000", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(q*float64(len(values))+0.5) - 1
+		sorted := append([]int64(nil), values...)
+		sortInt64(sorted)
+		truth := float64(sorted[idx])
+		got := float64(h.Quantile(q))
+		if got < truth {
+			t.Errorf("q=%g: estimate %g below true value %g", q, got, truth)
+		}
+		if got > truth*(1+2.0/subCount) {
+			t.Errorf("q=%g: estimate %g exceeds error bound around %g", q, got, truth)
+		}
+	}
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)   // clamps to 0
+	h.Record(0)              //
+	h.Record(24 * time.Hour) // clamps into the top bucket
+	h.Record(time.Duration(1 << 62))
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if q := h.Quantile(0.25); q != 0 {
+		t.Errorf("q0.25 = %v, want 0", q)
+	}
+	if q := h.Quantile(1); q < time.Duration(bucketUpperNs(numBuckets-1)) {
+		t.Errorf("q1 = %v, below top bucket", q)
+	}
+}
+
+// TestFamilyCountsAgree pins the core soak-harness invariant: a family's
+// histogram count always equals the sum of its status counters.
+func TestFamilyCountsAgree(t *testing.T) {
+	r := NewRegistry()
+	f := r.Family("POST /v1/sweep")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				status := 200
+				if i%7 == 0 {
+					status = 429
+				}
+				f.Observe(status, time.Duration(i)*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum uint64
+	for _, n := range f.StatusCounts() {
+		sum += n
+	}
+	if sum != f.Count() || f.Count() != 8000 {
+		t.Fatalf("status sum %d, histogram count %d, want 8000", sum, f.Count())
+	}
+	if f.StatusCount(429) == 0 || f.StatusCount(200) == 0 {
+		t.Fatalf("expected both 200 and 429 counts, got %v", f.StatusCounts())
+	}
+	if f.Observe(1234, time.Millisecond); f.StatusCount(0) != 1 {
+		t.Errorf("out-of-range status not folded into code 0")
+	}
+}
+
+func TestRegistryOrderStable(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"b", "a", "c", "a", "b"}
+	for _, n := range names {
+		r.Family(n)
+	}
+	var got []string
+	for _, f := range r.Families() {
+		got = append(got, f.Name())
+	}
+	if strings.Join(got, ",") != "b,a,c" {
+		t.Fatalf("families = %v, want registration order b,a,c", got)
+	}
+	if r.Family("a") != r.Family("a") {
+		t.Fatal("Family is not idempotent")
+	}
+}
+
+// TestWritePrometheus parses the rendered page back and checks the
+// exposition-format invariants the scrapers (and our own loadgen -check
+// mode) rely on: cumulative non-decreasing buckets ending in +Inf, and a
+// _count line equal to the +Inf bucket and to the requests_total sum.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	f := r.Family("POST /v1/sweep")
+	for i := 0; i < 500; i++ {
+		status := 200
+		if i%10 == 0 {
+			status = 429
+		}
+		f.Observe(status, time.Duration(i)*time.Millisecond)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b, "ulba_http", "endpoint")
+	page := b.String()
+
+	bucketRe := regexp.MustCompile(`^ulba_http_request_duration_seconds_bucket\{endpoint="POST /v1/sweep",le="([^"]+)"\} (\d+)$`)
+	var lastCum uint64
+	var lastLe float64 = -1
+	var sawInf bool
+	var infCount uint64
+	for _, line := range strings.Split(page, "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		cum, _ := strconv.ParseUint(m[2], 10, 64)
+		if cum < lastCum {
+			t.Fatalf("cumulative bucket decreased: %s", line)
+		}
+		lastCum = cum
+		if m[1] == "+Inf" {
+			sawInf, infCount = true, cum
+			continue
+		}
+		le, err := strconv.ParseFloat(m[1], 64)
+		if err != nil || le <= lastLe {
+			t.Fatalf("le bounds not increasing: %s", line)
+		}
+		lastLe = le
+	}
+	if !sawInf || infCount != 500 {
+		t.Fatalf("+Inf bucket = %d (seen=%v), want 500", infCount, sawInf)
+	}
+	if !strings.Contains(page, `ulba_http_request_duration_seconds_count{endpoint="POST /v1/sweep"} 500`) {
+		t.Fatalf("missing _count line in page:\n%s", page)
+	}
+	if !strings.Contains(page, `ulba_http_requests_total{endpoint="POST /v1/sweep",code="429"} 50`) {
+		t.Fatalf("missing 429 counter in page:\n%s", page)
+	}
+	if !strings.Contains(page, `ulba_http_requests_total{endpoint="POST /v1/sweep",code="200"} 450`) {
+		t.Fatalf("missing 200 counter in page:\n%s", page)
+	}
+}
+
+func TestGaugeAndCounterHelpers(t *testing.T) {
+	var b strings.Builder
+	WriteGauge(&b, "ulba_inflight", 3)
+	WriteCounter(&b, "ulba_shed_total", 42)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ulba_inflight gauge\nulba_inflight 3\n",
+		"# TYPE ulba_shed_total counter\nulba_shed_total 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}

@@ -164,6 +164,22 @@ func (c *Cache) Seed(key string, body []byte) bool {
 	return true
 }
 
+// Get returns the body stored for key, counting a hit and refreshing its
+// recency; a miss moves no counters and consults no fallback. It is the
+// hot-key fast path of admission control: a request whose body is already
+// resident serves without an admission token, so load shedding never
+// rejects work the server can answer from memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).body, true
+	}
+	return nil, false
+}
+
 // Has reports whether key is immediately servable from the LRU — a pure
 // peek: no fallback consultation, no counter movement, no recency update.
 // The cluster layer uses it to skip forwarding for locally cached keys and

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -369,8 +370,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.manager.Submit(task.typ, task.key, task.total, sub, task.run)
+	// Hot-key fast path, job flavor: a submission whose result is already
+	// cached bypasses the queue-depth limit and jumps the queue — it will
+	// finish as a cache hit, so shedding it would reject free work.
+	var j *jobs.Job
+	if s.cache.Has(task.key) {
+		j, err = s.manager.SubmitHot(task.typ, task.key, task.total, sub, task.run)
+	} else {
+		j, err = s.manager.Submit(task.typ, task.key, task.total, sub, task.run)
+	}
 	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			s.writeShed(w)
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}

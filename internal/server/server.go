@@ -22,12 +22,14 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"ulba"
 	"ulba/internal/cluster"
 	"ulba/internal/jobs"
+	"ulba/internal/metrics"
 )
 
 // Config parameterizes a Server. The zero value is usable: a 64 MiB cache,
@@ -45,6 +47,22 @@ type Config struct {
 	MaxConcurrent int
 	// MaxBodyBytes bounds a request body; <= 0 selects 32 MiB.
 	MaxBodyBytes int64
+
+	// MaxInflight bounds how many engine-bound requests may be admitted at
+	// once — the load-shedding layer above MaxConcurrent: requests beyond
+	// MaxConcurrent queue for an engine slot, requests beyond MaxInflight
+	// are answered 429 + Retry-After immediately. Cache hits bypass the
+	// bound (they cost no engine time). 0 selects 64x the resolved
+	// MaxConcurrent; negative disables shedding.
+	MaxInflight int
+	// MaxQueuedJobs bounds the job queue depth: submissions beyond it are
+	// answered 429 + Retry-After, except submissions whose result is
+	// already cached (those jump the queue instead). 0 leaves the queue
+	// unbounded.
+	MaxQueuedJobs int
+	// RetryAfter is the hint sent with every 429, rounded up to whole
+	// seconds; 0 selects 1s.
+	RetryAfter time.Duration
 
 	// Store, when non-nil, persists rendered response bodies and job
 	// checkpoints on disk (cmd/ulba-serve: -store-dir). At startup the
@@ -85,6 +103,12 @@ type Server struct {
 	routes  []string
 	maxBody int64
 
+	metrics     *metrics.Registry
+	maxInflight int    // 0 = unlimited
+	retryAfter  string // whole seconds, the Retry-After header value
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+
 	requests   atomic.Uint64
 	engineRuns atomic.Uint64
 	seeded     int
@@ -119,13 +143,31 @@ func New(cfg Config) (*Server, error) {
 	case retention < 0:
 		retention = 0
 	}
+	maxInflight := cfg.MaxInflight
+	switch {
+	case maxInflight == 0:
+		maxInflight = 64 * workers
+	case maxInflight < 0:
+		maxInflight = 0
+	}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	retrySecs := int((retryAfter + time.Second - 1) / time.Second)
 	s := &Server{
-		cache:   NewCache(budget),
-		store:   cfg.Store,
-		manager: jobs.NewManager(cfg.JobWorkers, retention),
-		sem:     make(chan struct{}, workers),
-		mux:     http.NewServeMux(),
-		maxBody: maxBody,
+		cache:       NewCache(budget),
+		store:       cfg.Store,
+		manager:     jobs.NewManager(cfg.JobWorkers, retention),
+		sem:         make(chan struct{}, workers),
+		mux:         http.NewServeMux(),
+		maxBody:     maxBody,
+		metrics:     metrics.NewRegistry(),
+		maxInflight: maxInflight,
+		retryAfter:  fmt.Sprintf("%d", retrySecs),
+	}
+	if cfg.MaxQueuedJobs > 0 {
+		s.manager.SetQueueLimit(cfg.MaxQueuedJobs)
 	}
 	if s.store != nil {
 		// Disk is the second cache level: warm-load persisted results
@@ -152,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.node = node
 	}
+	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /v1/registries", s.handleRegistries)
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("POST /v1/experiment", s.handleExperiment)
@@ -175,9 +218,11 @@ func New(cfg Config) (*Server, error) {
 }
 
 // route registers a handler and records its pattern, so Routes stays the
-// single source of truth the documentation drift test pins against.
+// single source of truth the documentation drift test pins against. Every
+// handler is wrapped with the endpoint's latency/status instrumentation,
+// labeled by the pattern itself — sync, jobs, and cluster routes alike.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
-	s.mux.HandleFunc(pattern, h)
+	s.mux.HandleFunc(pattern, s.instrument(s.metrics.Family(pattern), h))
 	s.routes = append(s.routes, pattern)
 }
 
@@ -230,12 +275,13 @@ func (s *Server) Handler() http.Handler {
 
 // Stats is the service-level counter snapshot behind GET /v1/stats.
 type Stats struct {
-	Requests   uint64      `json:"requests"`
-	EngineRuns uint64      `json:"engine_runs"`
-	Cache      CacheStats  `json:"cache"`
-	Jobs       jobs.Stats  `json:"jobs"`
-	Store      *StoreStats `json:"store,omitempty"`
-	Node       *NodeStats  `json:"node"`
+	Requests   uint64         `json:"requests"`
+	EngineRuns uint64         `json:"engine_runs"`
+	Admission  AdmissionStats `json:"admission"`
+	Cache      CacheStats     `json:"cache"`
+	Jobs       jobs.Stats     `json:"jobs"`
+	Store      *StoreStats    `json:"store,omitempty"`
+	Node       *NodeStats     `json:"node"`
 }
 
 // StoreStats describes the persistent result store, when one is configured.
@@ -253,11 +299,18 @@ type StoreStats struct {
 // Requests is the work the cache, the single-flight deduplication, and the
 // persistent store saved.
 func (s *Server) Stats() Stats {
+	retrySecs, _ := strconv.Atoi(s.retryAfter)
 	st := Stats{
 		Requests:   s.requests.Load(),
 		EngineRuns: s.engineRuns.Load(),
-		Cache:      s.cache.Stats(),
-		Jobs:       s.manager.Stats(),
+		Admission: AdmissionStats{
+			Inflight:          s.inflight.Load(),
+			MaxInflight:       s.maxInflight,
+			Shed:              s.shed.Load(),
+			RetryAfterSeconds: retrySecs,
+		},
+		Cache: s.cache.Stats(),
+		Jobs:  s.manager.Stats(),
 	}
 	if s.store != nil {
 		st.Store = &StoreStats{Entries: s.store.Len(), Bytes: s.store.Bytes(), Seeded: s.seeded}
@@ -421,9 +474,23 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Hot-key fast path: a body resident in the LRU serves without an
+	// admission token, so overload sheds only work that would cost engine
+	// time — a saturated server keeps answering its hot keys.
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Ulba-Cache", string(Hit))
+		w.Write(body)
+		return
+	}
 	if s.maybeForward(w, r, endpoint, key, raw) {
 		return
 	}
+	if !s.admit() {
+		s.writeShed(w)
+		return
+	}
+	defer s.releaseAdmission()
 	ctx := r.Context()
 	body, outcome, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		return s.computeBody(ctx, key, compute)
@@ -543,6 +610,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Stream {
+		// Streams always compute (they bypass the cache), so they always
+		// need an admission token, held for the whole stream.
+		if !s.admit() {
+			s.writeShed(w)
+			return
+		}
+		defer s.releaseAdmission()
 		streamSweep(w, r, s, n, func(ctx context.Context) <-chan ulba.SweepResult {
 			return sweep.Stream(ctx, materialize())
 		})
@@ -631,6 +705,11 @@ func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		if !s.admit() {
+			s.writeShed(w)
+			return
+		}
+		defer s.releaseAdmission()
 		streamRuntimeSweep(w, r, s, n, func(ctx context.Context) <-chan ulba.RuntimeSweepResult {
 			return sweep.Stream(ctx, exps)
 		})
