@@ -489,6 +489,20 @@ func diffAgainst(path string, rec benchRecord) error {
 				return fmt.Errorf("%s moved: %v -> %v", c.name, c.base, c.this)
 			}
 		}
+		// Perf gates on the runtime leg. Throughput is clock-dependent and
+		// allocation counts shift with the Go version, so these are wide
+		// ratio gates rather than equalities: they only catch a fast path
+		// that quietly fell off a cliff (an accidental O(n) regression or a
+		// reintroduced per-iteration allocation), not machine-to-machine
+		// noise.
+		if base.Runtime.AllocsPerInst > 0 && rec.Runtime.AllocsPerInst > base.Runtime.AllocsPerInst*1.5 {
+			return fmt.Errorf("runtime allocs_per_scenario regressed: %.0f -> %.0f (limit %.0f)",
+				base.Runtime.AllocsPerInst, rec.Runtime.AllocsPerInst, base.Runtime.AllocsPerInst*1.5)
+		}
+		if base.Runtime.ScenariosPerSec > 0 && rec.Runtime.ScenariosPerSec < base.Runtime.ScenariosPerSec/3 {
+			return fmt.Errorf("runtime scenarios_per_sec regressed: %.1f -> %.1f (floor %.1f)",
+				base.Runtime.ScenariosPerSec, rec.Runtime.ScenariosPerSec, base.Runtime.ScenariosPerSec/3)
+		}
 	}
 	if base.Server != nil && rec.Server != nil && base.Server.ResponseSHA256 != rec.Server.ResponseSHA256 {
 		return fmt.Errorf("server response hash moved: %s -> %s — served bytes changed",

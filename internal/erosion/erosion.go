@@ -177,6 +177,13 @@ type Domain struct {
 	cols     [][]Cell
 	weights  []float64 // per local column: sum of fluid weights
 	rockRows [][]int32 // per local column: sorted rows of remaining rock cells
+	erode    []colRow  // Step scratch: cells to erode this iteration
+}
+
+// colRow addresses one cell by local column index and row.
+type colRow struct {
+	ci int
+	y  int32
 }
 
 // NewDomain builds the initial state of columns [lo, hi). A full-domain
@@ -208,29 +215,6 @@ func NewDomain(cfg Config, lo, hi int) *Domain {
 			col[y] = cfg.InitialCell(x, y)
 		}
 		d.cols[ci] = col
-		d.reindexColumn(ci)
-	}
-	return d
-}
-
-// newFromColumns assembles a domain from pre-built columns starting at lo.
-// The columns are adopted, not copied.
-func newFromColumns(cfg Config, lo int, cols [][]Cell) *Domain {
-	d := &Domain{cfg: cfg, strong: cfg.StrongSet(), lo: lo, hi: lo + len(cols), cols: cols}
-	d.probs = make([]float64, cfg.P)
-	for s := range d.probs {
-		if d.strong[s] {
-			d.probs[s] = cfg.ProbStrong
-		} else {
-			d.probs[s] = cfg.ProbWeak
-		}
-	}
-	d.weights = make([]float64, len(cols))
-	d.rockRows = make([][]int32, len(cols))
-	for ci := range cols {
-		if len(cols[ci]) != cfg.Height {
-			panic(fmt.Sprintf("erosion: column %d has height %d, want %d", lo+ci, len(cols[ci]), cfg.Height))
-		}
 		d.reindexColumn(ci)
 	}
 	return d
@@ -312,6 +296,40 @@ func (d *Domain) BoundaryColumn(left bool) []Cell {
 	return append([]Cell(nil), src...)
 }
 
+// AppendBoundary appends the wire encoding of the first (left = true) or
+// last owned column to dst and returns the extended buffer — the halo send
+// path without the intermediate column copy of BoundaryColumn + PackHalo.
+func (d *Domain) AppendBoundary(dst []byte, left bool) []byte {
+	if d.NumCols() == 0 {
+		return dst
+	}
+	var src []Cell
+	if left {
+		src = d.cols[0]
+	} else {
+		src = d.cols[len(d.cols)-1]
+	}
+	for _, c := range src {
+		dst = append(dst, byte(c))
+	}
+	return dst
+}
+
+// AppendRange appends the wire encoding of owned columns [a, b) to dst and
+// returns the extended buffer — the migration send path without the deep
+// copy of CopyRange + PackCells.
+func (d *Domain) AppendRange(dst []byte, a, b int) []byte {
+	if a < d.lo || b > d.hi || a > b {
+		panic(fmt.Sprintf("erosion: AppendRange [%d,%d) outside owned [%d,%d)", a, b, d.lo, d.hi))
+	}
+	for x := a; x < b; x++ {
+		for _, c := range d.cols[x-d.lo] {
+			dst = append(dst, byte(c))
+		}
+	}
+	return dst
+}
+
 // Step advances the owned range by one erosion iteration. left and right
 // are the halo columns (lo-1 and hi), nil at physical domain boundaries
 // (outside cells are treated as non-fluid). It returns the number of rock
@@ -319,11 +337,7 @@ func (d *Domain) BoundaryColumn(left bool) []Cell {
 // stripes of a partition in any order is equivalent to stepping the whole
 // domain at once.
 func (d *Domain) Step(iter int, left, right []Cell) int {
-	type hit struct {
-		ci int
-		y  int32
-	}
-	var erodeList []hit
+	erodeList := d.erode[:0]
 	h := d.cfg.Height
 	for ci, rocks := range d.rockRows {
 		if len(rocks) == 0 {
@@ -358,30 +372,32 @@ func (d *Domain) Step(iter int, left, right []Cell) int {
 				k++
 			}
 			if k > 0 && d.cfg.erodes(iter, x, int(y), k, prob) {
-				erodeList = append(erodeList, hit{ci: ci, y: y})
+				erodeList = append(erodeList, colRow{ci: ci, y: y})
 			}
 		}
 	}
-	// Apply after the full scan: double-buffer semantics.
+	// Apply after the full scan: double-buffer semantics. The scan emits
+	// hits in ascending ci order, so consecutive-duplicate skipping visits
+	// each touched column exactly once — no set needed.
 	for _, e := range erodeList {
 		d.cols[e.ci][e.y] = Refined
 		d.weights[e.ci] += Refined.Weight()
 	}
-	if len(erodeList) > 0 {
-		touched := map[int]bool{}
-		for _, e := range erodeList {
-			touched[e.ci] = true
+	prev := -1
+	for _, e := range erodeList {
+		if e.ci == prev {
+			continue
 		}
-		for ci := range touched {
-			rocks := d.rockRows[ci][:0]
-			for _, y := range d.rockRows[ci] {
-				if d.cols[ci][y] == Rock {
-					rocks = append(rocks, y)
-				}
+		prev = e.ci
+		rocks := d.rockRows[e.ci][:0]
+		for _, y := range d.rockRows[e.ci] {
+			if d.cols[e.ci][y] == Rock {
+				rocks = append(rocks, y)
 			}
-			d.rockRows[ci] = rocks
 		}
+		d.rockRows[e.ci] = rocks
 	}
+	d.erode = erodeList[:0]
 	return len(erodeList)
 }
 
@@ -426,7 +442,32 @@ func (d *Domain) Rebuild(newLo, newHi int, received map[int][][]Cell) *Domain {
 			panic(fmt.Sprintf("erosion: column %d missing after migration", newLo+i))
 		}
 	}
-	return newFromColumns(d.cfg, newLo, cols)
+	// Kept columns carry their weight and rock index over unchanged; only
+	// received columns are scanned. The disc tables are immutable after
+	// construction, so they are shared rather than recomputed.
+	nd := &Domain{
+		cfg:      d.cfg,
+		strong:   d.strong,
+		probs:    d.probs,
+		lo:       newLo,
+		hi:       newHi,
+		cols:     cols,
+		weights:  make([]float64, len(cols)),
+		rockRows: make([][]int32, len(cols)),
+	}
+	for ci := range cols {
+		x := newLo + ci
+		if x >= d.lo && x < d.hi {
+			nd.weights[ci] = d.weights[x-d.lo]
+			nd.rockRows[ci] = d.rockRows[x-d.lo]
+			continue
+		}
+		if len(cols[ci]) != d.cfg.Height {
+			panic(fmt.Sprintf("erosion: column %d has height %d, want %d", x, len(cols[ci]), d.cfg.Height))
+		}
+		nd.reindexColumn(ci)
+	}
+	return nd
 }
 
 // PackCells serializes columns for the wire: Height bytes per column.
@@ -481,9 +522,15 @@ func UnpackHalo(b []byte) []Cell {
 	if len(b) == 0 {
 		return nil
 	}
-	col := make([]Cell, len(b))
-	for i, v := range b {
-		col[i] = Cell(v)
+	return UnpackHaloInto(make([]Cell, 0, len(b)), b)
+}
+
+// UnpackHaloInto appends the decoded halo column to dst and returns the
+// extended slice; an empty payload yields dst unchanged (callers must treat
+// a zero-length result as the nil halo of a physical boundary).
+func UnpackHaloInto(dst []Cell, b []byte) []Cell {
+	for _, v := range b {
+		dst = append(dst, Cell(v))
 	}
-	return col
+	return dst
 }

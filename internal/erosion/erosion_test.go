@@ -462,3 +462,116 @@ func TestCertainErosionProperty(t *testing.T) {
 		}
 	}
 }
+
+// AppendBoundary must produce exactly the bytes of the copying halo send
+// path it replaces, appended to the caller's buffer.
+func TestAppendBoundaryMatchesPackHalo(t *testing.T) {
+	c := testConfig(2)
+	d := NewDomain(c, 0, c.Width())
+	for i := 0; i < 6; i++ {
+		d.Step(i, nil, nil)
+	}
+	for _, left := range []bool{true, false} {
+		want := PackHalo(d.BoundaryColumn(left))
+		buf := make([]byte, 0, c.Height)
+		got := d.AppendBoundary(buf, left)
+		if string(got) != string(want) {
+			t.Fatalf("AppendBoundary(left=%v) diverged from PackHalo", left)
+		}
+		if &got[:1][0] != &buf[:1][0] {
+			t.Fatalf("AppendBoundary(left=%v) reallocated despite capacity", left)
+		}
+	}
+	empty := NewDomain(c, 3, 3)
+	if out := empty.AppendBoundary(nil, true); out != nil {
+		t.Fatalf("empty domain boundary = %v, want nil", out)
+	}
+}
+
+// AppendRange must produce exactly the bytes of PackCells(CopyRange(a, b)),
+// and panic on out-of-range requests like CopyRange does.
+func TestAppendRangeMatchesPackCells(t *testing.T) {
+	c := testConfig(2)
+	d := NewDomain(c, 0, c.Width())
+	for i := 0; i < 6; i++ {
+		d.Step(i, nil, nil)
+	}
+	want := PackCells(d.CopyRange(10, 20))
+	got := d.AppendRange(nil, 10, 20)
+	if string(got) != string(want) {
+		t.Fatal("AppendRange diverged from PackCells(CopyRange)")
+	}
+	if out := d.AppendRange(nil, 5, 5); len(out) != 0 {
+		t.Fatalf("empty range encoded %d bytes", len(out))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRange outside owned range should panic")
+		}
+	}()
+	d.AppendRange(nil, -1, 3)
+}
+
+// UnpackHaloInto must decode the same cells as UnpackHalo while reusing the
+// caller's scratch.
+func TestUnpackHaloInto(t *testing.T) {
+	c := testConfig(1)
+	d := NewDomain(c, 0, c.Width())
+	wire := PackHalo(d.BoundaryColumn(true))
+	want := UnpackHalo(wire)
+	scratch := make([]Cell, 0, c.Height)
+	got := UnpackHaloInto(scratch, wire)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &got[:1][0] != &scratch[:1][0] {
+		t.Fatal("UnpackHaloInto reallocated despite capacity")
+	}
+	if out := UnpackHaloInto(nil, nil); len(out) != 0 {
+		t.Fatal("empty payload should decode to an empty halo")
+	}
+}
+
+// A domain's weight and rock bookkeeping must stay exact through a rebuild
+// that both keeps and receives columns, and the rebuilt domain must keep
+// stepping bit-identically to a domain that never migrated (the carry-over
+// of kept columns' indices is an optimization, not a semantic change).
+func TestRebuildCarriesIndicesExactly(t *testing.T) {
+	c := testConfig(2)
+	ref := NewDomain(c, 0, c.Width())
+	d := NewDomain(c, 0, c.Width())
+	for i := 0; i < 5; i++ {
+		ref.Step(i, nil, nil)
+		d.Step(i, nil, nil)
+	}
+	// Round-trip columns [0, 8) out and back, forcing a mixed rebuild.
+	chunk := d.CopyRange(0, 8)
+	d = d.Rebuild(8, d.Hi(), nil)
+	d = d.Rebuild(0, d.Hi(), map[int][][]Cell{0: chunk})
+	if d.RockCount() != ref.RockCount() || d.Workload() != ref.Workload() {
+		t.Fatalf("rebuild bookkeeping diverged: rocks %d vs %d, work %v vs %v",
+			d.RockCount(), ref.RockCount(), d.Workload(), ref.Workload())
+	}
+	for i := 5; i < 15; i++ {
+		er := ref.Step(i, nil, nil)
+		ed := d.Step(i, nil, nil)
+		if er != ed {
+			t.Fatalf("iteration %d: rebuilt domain eroded %d, reference %d", i, ed, er)
+		}
+	}
+	for x := 0; x < c.Width(); x++ {
+		if d.ColWeight(x) != ref.ColWeight(x) {
+			t.Fatalf("column %d weight diverged after rebuild", x)
+		}
+		for y := 0; y < c.Height; y++ {
+			if d.Cell(x, y) != ref.Cell(x, y) {
+				t.Fatalf("cell (%d,%d) diverged after rebuild", x, y)
+			}
+		}
+	}
+}

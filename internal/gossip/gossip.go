@@ -145,13 +145,18 @@ func (db *DB) Values() []float64 {
 
 // Snapshot returns all known entries in rank order.
 func (db *DB) Snapshot() []Entry {
-	out := make([]Entry, 0, len(db.entries))
+	return db.AppendSnapshot(make([]Entry, 0, len(db.entries)))
+}
+
+// AppendSnapshot appends all known entries in rank order to dst and returns
+// the extended slice; pass scratch[:0] to reuse a buffer across steps.
+func (db *DB) AppendSnapshot(dst []Entry) []Entry {
 	for r, k := range db.known {
 		if k {
-			out = append(out, db.entries[r])
+			dst = append(dst, db.entries[r])
 		}
 	}
-	return out
+	return dst
 }
 
 // Staleness returns the age (in iterations, relative to now) of the oldest
@@ -190,31 +195,39 @@ const entryBytes = 24 // rank int64 + value float64 + iter int64
 
 // EncodeEntries serializes entries for the wire.
 func EncodeEntries(entries []Entry) []byte {
-	b := make([]byte, entryBytes*len(entries))
-	for i, e := range entries {
-		off := i * entryBytes
-		binary.LittleEndian.PutUint64(b[off:], uint64(int64(e.Rank)))
-		binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(e.Value))
-		binary.LittleEndian.PutUint64(b[off+16:], uint64(int64(e.Iter)))
+	return AppendEntries(make([]byte, 0, entryBytes*len(entries)), entries)
+}
+
+// AppendEntries appends the wire encoding of entries to dst and returns the
+// extended buffer — the allocation-free form of EncodeEntries.
+func AppendEntries(dst []byte, entries []Entry) []byte {
+	for _, e := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(e.Rank)))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Value))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(e.Iter)))
 	}
-	return b
+	return dst
 }
 
 // DecodeEntries reverses EncodeEntries; it panics on corrupt payloads.
 func DecodeEntries(b []byte) []Entry {
+	return DecodeEntriesInto(make([]Entry, 0, len(b)/entryBytes), b)
+}
+
+// DecodeEntriesInto appends the decoded entries to dst and returns the
+// extended slice; it panics on corrupt payloads like DecodeEntries.
+func DecodeEntriesInto(dst []Entry, b []byte) []Entry {
 	if len(b)%entryBytes != 0 {
 		panic("gossip: corrupt entry payload")
 	}
-	out := make([]Entry, len(b)/entryBytes)
-	for i := range out {
-		off := i * entryBytes
-		out[i] = Entry{
-			Rank:  int(int64(binary.LittleEndian.Uint64(b[off:]))),
-			Value: math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
-			Iter:  int(int64(binary.LittleEndian.Uint64(b[off+16:]))),
-		}
+	for ; len(b) >= entryBytes; b = b[entryBytes:] {
+		dst = append(dst, Entry{
+			Rank:  int(int64(binary.LittleEndian.Uint64(b))),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+			Iter:  int(int64(binary.LittleEndian.Uint64(b[16:]))),
+		})
 	}
-	return out
+	return dst
 }
 
 // Rounds returns ceil(log2 size): the number of consecutive dissemination
@@ -257,16 +270,61 @@ type Transport interface {
 	SendRecv(dst int, sendData []byte, src, tag int) []byte
 }
 
+// OwnedTransport is the zero-copy extension of Transport: the exchange
+// hands the send buffer over to the substrate and returns a payload the
+// caller owns, with pooled buffers on both sides. *mpisim.Proc implements
+// it; StepScratch uses it when available to disseminate without per-step
+// allocations.
+type OwnedTransport interface {
+	Transport
+	// AcquireBuf returns an empty reusable buffer to encode into.
+	AcquireBuf() []byte
+	// ReleaseBuf recycles a buffer obtained from SendRecvOwned.
+	ReleaseBuf(b []byte)
+	// SendRecvOwned is SendRecv with ownership transfer: sendData must not
+	// be touched after the call, and the returned payload belongs to the
+	// caller.
+	SendRecvOwned(dst int, sendData []byte, src, tag int) []byte
+}
+
+// Scratch holds the reusable buffers of one rank's dissemination loop.
+// The zero value is ready to use.
+type Scratch struct {
+	entries []Entry
+	frame   []byte
+}
+
 // Step performs one dissemination step at the given step index over the
 // transport: push the whole database to the doubling-ring partner and merge
 // what the mirror partner pushed to us. All ranks must call Step with the
 // same step index and tag. A world of one rank is a no-op.
 func Step(t Transport, db *DB, step int, tag int) {
+	StepScratch(t, db, step, tag, nil)
+}
+
+// StepScratch is Step with caller-provided scratch buffers: a rank stepping
+// every iteration reuses its entry slice and wire frame instead of
+// allocating them per step, and over an OwnedTransport the exchange itself
+// is allocation-free too. A nil scratch falls back to Step's behavior.
+func StepScratch(t Transport, db *DB, step int, tag int, s *Scratch) {
 	size := t.Size()
 	if size == 1 {
 		return
 	}
+	var local Scratch
+	if s == nil {
+		s = &local
+	}
 	dst, src := Partner(t.Rank(), step, size)
-	payload := t.SendRecv(dst, EncodeEntries(db.Snapshot()), src, tag)
-	db.Merge(DecodeEntries(payload))
+	s.entries = db.AppendSnapshot(s.entries[:0])
+	if ot, ok := t.(OwnedTransport); ok {
+		payload := ot.SendRecvOwned(dst, AppendEntries(ot.AcquireBuf(), s.entries), src, tag)
+		s.entries = DecodeEntriesInto(s.entries[:0], payload)
+		ot.ReleaseBuf(payload)
+	} else {
+		s.frame = AppendEntries(s.frame[:0], s.entries)
+		payload := t.SendRecv(dst, s.frame, src, tag)
+		s.entries = DecodeEntriesInto(s.entries[:0], payload)
+	}
+	db.Merge(s.entries)
 }

@@ -367,3 +367,142 @@ func TestPartnerSchedule(t *testing.T) {
 		}
 	}
 }
+
+// pairTransport is a plain (non-owned) two-rank loopback Transport over
+// buffered channels; it exercises StepScratch's copying fallback path,
+// which must not assume the substrate takes ownership of the frame.
+type pairTransport struct {
+	rank int
+	ch   *[2]chan []byte
+}
+
+func (t pairTransport) Rank() int { return t.rank }
+func (t pairTransport) Size() int { return 2 }
+func (t pairTransport) SendRecv(dst int, sendData []byte, src, tag int) []byte {
+	// The caller retains sendData (plain Transport contract): clone it onto
+	// the peer's channel exactly like a real wire would.
+	t.ch[dst] <- append([]byte(nil), sendData...)
+	return <-t.ch[t.rank]
+}
+
+// StepScratch over a plain Transport must reach the same database state as
+// the owned path the mpisim-backed tests exercise, while reusing the
+// caller's scratch buffers across steps.
+func TestStepScratchPlainTransportFallback(t *testing.T) {
+	ch := [2]chan []byte{make(chan []byte, 1), make(chan []byte, 1)}
+	dbs := [2]*DB{NewDB(0, 2), NewDB(1, 2)}
+	done := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			tr := pairTransport{rank: r, ch: &ch}
+			var s Scratch
+			for i := 0; i < 4; i++ {
+				dbs[r].Update(r, float64((r+1)*10+i), i)
+				StepScratch(tr, dbs[r], i, 9, &s)
+			}
+			done <- nil
+		}(r)
+	}
+	for r := 0; r < 2; r++ {
+		<-done
+	}
+	for r := 0; r < 2; r++ {
+		for q := 0; q < 2; q++ {
+			e, ok := dbs[r].Get(q)
+			if !ok || e.Iter != 3 || e.Value != float64((q+1)*10+3) {
+				t.Fatalf("rank %d: entry for %d stale or missing: %+v ok=%v", r, q, e, ok)
+			}
+		}
+	}
+}
+
+// AppendSnapshot with sufficient capacity must not reallocate, and must
+// produce the same entries as Snapshot.
+func TestAppendSnapshotReuses(t *testing.T) {
+	db := NewDB(0, 8)
+	for r := 0; r < 8; r += 2 {
+		db.Update(r, float64(r), 1)
+	}
+	scratch := make([]Entry, 0, 8)
+	got := db.AppendSnapshot(scratch)
+	if &got[:1][0] != &scratch[:1][0] {
+		t.Fatal("AppendSnapshot reallocated despite sufficient capacity")
+	}
+	want := db.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("AppendSnapshot len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// The -Into codec variants must round-trip through the same wire bytes as
+// the allocating forms, reusing caller buffers.
+func TestAppendDecodeEntriesInto(t *testing.T) {
+	entries := []Entry{{Rank: 0, Value: 1.5, Iter: 3}, {Rank: 5, Value: -2, Iter: 7}}
+	wire := EncodeEntries(entries)
+	frame := make([]byte, 0, len(wire))
+	if got := AppendEntries(frame, entries); string(got) != string(wire) {
+		t.Fatal("AppendEntries diverged from EncodeEntries")
+	}
+	scratch := make([]Entry, 0, 2)
+	back := DecodeEntriesInto(scratch, wire)
+	if len(back) != 2 || back[0] != entries[0] || back[1] != entries[1] {
+		t.Fatalf("DecodeEntriesInto = %+v", back)
+	}
+	if &back[:1][0] != &scratch[:1][0] {
+		t.Fatal("DecodeEntriesInto reallocated despite sufficient capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DecodeEntriesInto should panic on corrupt payload")
+		}
+	}()
+	DecodeEntriesInto(nil, wire[:5])
+}
+
+// A long gossip loop over the simulated runtime with a reused Scratch must
+// disseminate exactly like fresh-allocation Step and, in steady state,
+// allocate nothing per step.
+func TestStepScratchMatchesStep(t *testing.T) {
+	const size = 8
+	const iters = 24
+	collect := func(useScratch bool) ([]int, error) {
+		final := make([]int, size)
+		err := mpisim.Run(size, testCost(), func(p *mpisim.Proc) error {
+			db := NewDB(p.Rank(), size)
+			var s Scratch
+			for i := 0; i < iters; i++ {
+				db.Update(p.Rank(), float64(p.Rank()*100+i), i)
+				if useScratch {
+					StepScratch(p, db, i, 42, &s)
+				} else {
+					Step(p, db, i, 42)
+				}
+			}
+			final[p.Rank()] = db.KnownCount()
+			stale := db.Staleness(iters - 1)
+			if stale > float64(Rounds(size)) {
+				return fmt.Errorf("rank %d staleness %v", p.Rank(), stale)
+			}
+			return nil
+		})
+		return final, err
+	}
+	plain, err := collect(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratched, err := collect(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range plain {
+		if plain[r] != scratched[r] {
+			t.Fatalf("rank %d: scratch path knows %d, plain path %d", r, scratched[r], plain[r])
+		}
+	}
+}

@@ -244,7 +244,7 @@ func Run(cfg Config) (Result, error) {
 	var finalWorkload float64
 	erodedPerRank := make([]int, p)
 
-	clocks, allStats, err := mpisim.RunCollect(p, cfg.Cost, func(proc *mpisim.Proc) error {
+	clocks, allStats, err := mpisim.RunCollectPooled(p, cfg.Cost, func(proc *mpisim.Proc) error {
 		rank := proc.Rank()
 
 		// Initial partition: one stripe (and one rock) per PE, the
@@ -283,23 +283,44 @@ func Run(cfg Config) (Result, error) {
 		var lbCostAvg stats.Running
 		prevMax := 0.0
 
+		// Per-rank scratch reused across all iterations: halo cell
+		// columns, the 3-element allreduce payload, and the gossip
+		// dissemination buffers. The steady-state loop allocates
+		// nothing on the wire paths.
+		var haloLeft, haloRight []erosion.Cell
+		var red [3]float64
+		var gs gossip.Scratch
+
 		for i := 0; i < cfg.Iterations; i++ {
 			// Halo exchange (state after iteration i-1). Buffered
 			// sends cannot deadlock. One column of cell state goes
-			// over the wire in each direction.
+			// over the wire in each direction, encoded straight into
+			// a pooled buffer whose ownership transfers with the send.
 			haloBytes := app.Height * app.WireBytesPerCell()
 			if rank > 0 {
-				proc.SendV(rank-1, tagHaloToLeft, erosion.PackHalo(dom.BoundaryColumn(true)), haloBytes)
+				proc.SendOwnedV(rank-1, tagHaloToLeft,
+					dom.AppendBoundary(proc.AcquireBuf(), true), haloBytes)
 			}
 			if rank < p-1 {
-				proc.SendV(rank+1, tagHaloToRight, erosion.PackHalo(dom.BoundaryColumn(false)), haloBytes)
+				proc.SendOwnedV(rank+1, tagHaloToRight,
+					dom.AppendBoundary(proc.AcquireBuf(), false), haloBytes)
 			}
 			var left, right []erosion.Cell
 			if rank < p-1 {
-				right = erosion.UnpackHalo(proc.Recv(rank+1, tagHaloToLeft))
+				wire := proc.Recv(rank+1, tagHaloToLeft)
+				haloRight = erosion.UnpackHaloInto(haloRight[:0], wire)
+				proc.ReleaseBuf(wire)
+				if len(haloRight) > 0 {
+					right = haloRight
+				}
 			}
 			if rank > 0 {
-				left = erosion.UnpackHalo(proc.Recv(rank-1, tagHaloToRight))
+				wire := proc.Recv(rank-1, tagHaloToRight)
+				haloLeft = erosion.UnpackHaloInto(haloLeft[:0], wire)
+				proc.ReleaseBuf(wire)
+				if len(haloLeft) > 0 {
+					left = haloLeft
+				}
 			}
 
 			// The compute phase of the iteration: cost proportional
@@ -316,7 +337,7 @@ func Run(cfg Config) (Result, error) {
 			// step per iteration (Section III-C).
 			work := dom.Workload()
 			ctrl.Record(i, work)
-			gossip.Step(proc, ctrl.DB(), i, tagGossip)
+			gossip.StepScratch(proc, ctrl.DB(), i, tagGossip, &gs)
 
 			// Collective bookkeeping: total workload, overloading
 			// count estimate, and the shared iteration clock. The
@@ -325,8 +346,9 @@ func Run(cfg Config) (Result, error) {
 			if cfg.Method == ULBA && ctrl.Overloading() {
 				myBit = 1
 			}
-			sums := proc.Allreduce([]float64{work, myBit, flop / flops}, mpisim.OpSum)
-			totalWork, nEst, computeSum := sums[0], sums[1], sums[2]
+			red[0], red[1], red[2] = work, myBit, flop/flops
+			proc.AllreduceInPlace(red[:], mpisim.OpSum)
+			totalWork, nEst, computeSum := red[0], red[1], red[2]
 			maxClock := proc.AllreduceMax(proc.Clock())
 			iterTime := maxClock - prevMax
 			prevMax = maxClock
@@ -436,7 +458,9 @@ func callLoadBalancer(proc *mpisim.Proc, dom *erosion.Domain, oldBounds []int,
 	// Gather [alpha, lo, weights...] on the main PE.
 	payload := make([]float64, 0, 2+dom.NumCols())
 	payload = append(payload, alpha, float64(dom.Lo()))
-	payload = append(payload, dom.Weights()...)
+	for x := dom.Lo(); x < dom.Hi(); x++ {
+		payload = append(payload, dom.ColWeight(x))
+	}
 	parts := proc.Gather(0, mpisim.PackFloat64s(payload))
 
 	var boundsWire []byte
@@ -480,15 +504,17 @@ func callLoadBalancer(proc *mpisim.Proc, dom *erosion.Domain, oldBounds []int,
 		if tr.From == proc.Rank() {
 			cells := (tr.Hi - tr.Lo) * app.Height
 			proc.Compute(0.5 * cfg.MigrateFlopPerCell * float64(cells))
-			proc.SendV(tr.To, tagMigrate,
-				erosion.PackCells(dom.CopyRange(tr.Lo, tr.Hi)),
+			proc.SendOwnedV(tr.To, tagMigrate,
+				dom.AppendRange(proc.AcquireBuf(), tr.Lo, tr.Hi),
 				cells*app.WireBytesPerCell())
 		}
 	}
 	received := make(map[int][][]erosion.Cell)
 	for _, tr := range plan {
 		if tr.To == proc.Rank() {
-			received[tr.Lo] = erosion.UnpackCells(proc.Recv(tr.From, tagMigrate), app.Height)
+			wire := proc.Recv(tr.From, tagMigrate)
+			received[tr.Lo] = erosion.UnpackCells(wire, app.Height)
+			proc.ReleaseBuf(wire)
 			cells := (tr.Hi - tr.Lo) * app.Height
 			proc.Compute(cfg.MigrateFlopPerCell * float64(cells))
 		}

@@ -63,6 +63,13 @@ type SynthConfig struct {
 	// the average-LB-cost estimate adaptive triggers need. Negative
 	// disables the warmup call. Default (0 value) means 1.
 	WarmupLB int
+
+	// Table optionally pre-evaluates Weight over the scenario's full
+	// (item, iteration) grid (see BuildWeightTable). When present and
+	// matching the scenario dimensions, RunSynth and PerfectTime read
+	// table rows instead of re-invoking Weight per item — a pure lookup
+	// of the identical float64s, so results are bit-for-bit unchanged.
+	Table *WeightTable
 }
 
 // Normalized returns the config with defaults applied.
@@ -112,6 +119,10 @@ func (c SynthConfig) Validate() error {
 	if c.WarmupLB >= c.Iterations {
 		return fmt.Errorf("lb: synth WarmupLB = %d beyond the run of %d iterations", c.WarmupLB, c.Iterations)
 	}
+	if c.Table != nil && (c.Table.Items != c.Items || c.Table.Iterations < c.Iterations) {
+		return fmt.Errorf("lb: synth weight table is %dx%d, scenario needs %dx%d",
+			c.Table.Items, c.Table.Iterations, c.Items, c.Iterations)
+	}
 	return nil
 }
 
@@ -143,8 +154,14 @@ func PerfectTime(cfg SynthConfig) float64 {
 	total := 0.0
 	for i := 0; i < cfg.Iterations; i++ {
 		sum := 0.0
-		for j := 0; j < cfg.Items; j++ {
-			sum += cfg.Weight(j, i)
+		if row := cfg.tableRow(i); row != nil {
+			for _, w := range row {
+				sum += w
+			}
+		} else {
+			for j := 0; j < cfg.Items; j++ {
+				sum += cfg.Weight(j, i)
+			}
 		}
 		total += sum * cfg.FlopPerUnit / (float64(cfg.P) * cfg.Cost.FLOPS)
 	}
@@ -158,7 +175,25 @@ func PerfectTime(cfg SynthConfig) float64 {
 // iteration clock feeding the trigger, and a centralized even re-partition
 // (gather weights, cut stripes on the main PE, broadcast, migrate along the
 // deterministic transfer plan) whenever the trigger fires.
+//
+// The synthetic rank body is entirely fixed, so RunSynth executes on the
+// sequential fast engine (synth_fast.go), which advances all P virtual
+// clocks through the same message schedule without spawning goroutines.
+// RunSynthSim is the message-passing reference engine; the two are held
+// bit-identical by differential tests.
 func RunSynth(cfg SynthConfig) (SynthResult, error) {
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return SynthResult{}, err
+	}
+	return runSynthFast(cfg)
+}
+
+// RunSynthSim executes the synthetic scenario on the message-passing
+// engine: one goroutine per simulated PE over tagged mailboxes. It is the
+// executable specification the fast engine is tested against, and produces
+// bit-identical results.
+func RunSynthSim(cfg SynthConfig) (SynthResult, error) {
 	cfg = cfg.Normalized()
 	if err := cfg.Validate(); err != nil {
 		return SynthResult{}, err

@@ -1,0 +1,161 @@
+package lb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ulba/internal/stats"
+)
+
+// The fast engine's contract is bit-identity with the message-passing
+// reference engine: every field of SynthResult, including every float64
+// bit, must match reflect.DeepEqual across both engines for any valid
+// configuration. These tests sweep the structural axes (world size
+// including 1, uneven item counts, trigger kinds, disabled warmup, weight
+// tables) and then fuzz the remaining shape space.
+
+// mustMatchSim runs both engines on cfg and fails unless the results are
+// deeply equal.
+func mustMatchSim(t *testing.T, cfg SynthConfig) {
+	t.Helper()
+	fast, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatalf("fast engine: %v", err)
+	}
+	sim, err := RunSynthSim(cfg)
+	if err != nil {
+		t.Fatalf("sim engine: %v", err)
+	}
+	if !reflect.DeepEqual(fast, sim) {
+		t.Fatalf("engines diverged:\nfast: %+v\nsim:  %+v", fast, sim)
+	}
+}
+
+func TestSynthFastMatchesSimAcrossShapes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			cfg := synthCfg(p, 16*p+3, 40) // uneven: items not a multiple of P
+			mustMatchSim(t, cfg)
+		})
+	}
+}
+
+func TestSynthFastMatchesSimAcrossTriggers(t *testing.T) {
+	factories := map[string]func() Trigger{
+		"degradation": nil, // default
+		"never":       func() Trigger { return Never{} },
+		"periodic":    func() Trigger { return &Periodic{K: 7} },
+		"menon":       func() Trigger { return NewMenonTau() },
+	}
+	for name, factory := range factories {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			cfg := synthCfg(6, 96, 60)
+			cfg.TriggerFactory = factory
+			mustMatchSim(t, cfg)
+		})
+	}
+}
+
+func TestSynthFastMatchesSimNoWarmup(t *testing.T) {
+	cfg := synthCfg(4, 64, 30)
+	cfg.WarmupLB = -1
+	mustMatchSim(t, cfg)
+}
+
+func TestSynthFastMatchesSimWithTable(t *testing.T) {
+	cfg := synthCfg(5, 80, 50)
+	cfg.Table = BuildWeightTable(cfg.Items, cfg.Iterations, cfg.Weight)
+	mustMatchSim(t, cfg)
+
+	// And a tabled run must be bit-identical to the untabled run.
+	withTable, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Table = nil
+	without, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withTable, without) {
+		t.Fatal("weight table changed the result bits")
+	}
+}
+
+func TestWeightTableRowsAreExact(t *testing.T) {
+	w := rampWeight(32)
+	tab := BuildWeightTable(32, 10, w)
+	for i := 0; i < 10; i++ {
+		row := tab.Row(i)
+		if len(row) != 32 {
+			t.Fatalf("row %d has %d items", i, len(row))
+		}
+		for j, got := range row {
+			if got != w(j, i) {
+				t.Fatalf("table[%d][%d] = %v, want %v", i, j, got, w(j, i))
+			}
+		}
+	}
+}
+
+func TestSynthValidateRejectsMismatchedTable(t *testing.T) {
+	cfg := synthCfg(4, 64, 50).Normalized()
+	cfg.Table = BuildWeightTable(32, 50, cfg.Weight) // wrong item count
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("mismatched table items should fail validation")
+	}
+	cfg.Table = BuildWeightTable(64, 10, cfg.Weight) // too few iterations
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("short table should fail validation")
+	}
+	cfg.Table = BuildWeightTable(64, 50, cfg.Weight)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("matching table rejected: %v", err)
+	}
+}
+
+func TestPerfectTimeUsesTableBitIdentically(t *testing.T) {
+	cfg := synthCfg(4, 64, 50)
+	without := PerfectTime(cfg)
+	cfg.Table = BuildWeightTable(cfg.Items, cfg.Iterations, cfg.Weight)
+	if with := PerfectTime(cfg); with != without {
+		t.Fatalf("PerfectTime with table %v != without %v", with, without)
+	}
+}
+
+// FuzzSynthFastMatchesSim drives both engines over fuzzer-chosen scenario
+// shapes and weight dynamics and requires bit-identical results.
+func FuzzSynthFastMatchesSim(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(3), uint8(30), false)
+	f.Add(uint64(7), uint8(1), uint8(1), uint8(10), true)
+	f.Add(uint64(42), uint8(9), uint8(5), uint8(50), false)
+	f.Fuzz(func(t *testing.T, seed uint64, p8, perPE8, iters8 uint8, table bool) {
+		p := 1 + int(p8)%12
+		items := p * (1 + int(perPE8)%8)
+		iters := 2 + int(iters8)%60
+		rng := stats.NewRNG(seed)
+		// A per-item growth-rate vector makes load drift apart so the
+		// trigger actually fires; values are frozen up front so Weight is
+		// pure.
+		rates := make([]float64, items)
+		for j := range rates {
+			rates[j] = rng.Float64() * 0.2
+		}
+		cfg := SynthConfig{
+			P:          p,
+			Items:      items,
+			Iterations: iters,
+			Weight: func(item, iter int) float64 {
+				return 1 + rates[item]*float64(iter)
+			},
+			Cost: synthCfg(p, items, iters).Cost,
+		}
+		if table {
+			cfg.Table = BuildWeightTable(items, iters, cfg.Weight)
+		}
+		mustMatchSim(t, cfg)
+	})
+}

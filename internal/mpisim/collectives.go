@@ -147,50 +147,113 @@ func (p *Proc) Reduce(root int, vals []float64, op ReduceOp) []float64 {
 	if root < 0 || root >= size {
 		panic(fmt.Sprintf("mpisim: Reduce with invalid root %d", root))
 	}
-	const tag = collTagBase + 4
 	acc := append([]float64(nil), vals...)
+	if p.reduceInPlace(root, acc, op) {
+		return acc
+	}
+	return nil
+}
+
+// reduceInPlace is the engine behind Reduce and AllreduceInPlace: it
+// combines the ranks' vals into vals itself along the binomial tree, using
+// pooled wire buffers and the rank's float scratch so the steady state
+// allocates nothing. It reports whether this rank is the root (and thus
+// holds the result).
+func (p *Proc) reduceInPlace(root int, vals []float64, op ReduceOp) bool {
+	size := p.world.size
+	const tag = collTagBase + 4
 	vrank := (p.rank - root + size) % size
 	// Combine children (vrank + mask) for increasing masks, then send to
 	// parent — the mirror image of the broadcast tree.
-	mask := 1
-	for ; mask < size; mask <<= 1 {
+	for mask := 1; mask < size; mask <<= 1 {
 		if vrank&mask != 0 {
 			// Send partial to parent and stop.
 			parent := ((vrank - mask) + root) % size
-			p.Send(parent, tag, PackFloat64s(acc))
-			return nil
+			p.SendOwned(parent, tag, PackFloat64sInto(p.AcquireBuf(), vals))
+			return false
 		}
 		childV := vrank + mask
 		if childV < size {
 			child := (childV + root) % size
-			part := UnpackFloat64s(p.Recv(child, tag))
-			if len(part) != len(acc) {
-				panic(fmt.Sprintf("mpisim: Reduce length mismatch: %d vs %d", len(part), len(acc)))
+			payload := p.Recv(child, tag)
+			part := UnpackFloat64sInto(p.f64[:0], payload)
+			p.f64 = part[:0]
+			p.ReleaseBuf(payload)
+			if len(part) != len(vals) {
+				panic(fmt.Sprintf("mpisim: Reduce length mismatch: %d vs %d", len(part), len(vals)))
 			}
-			op(acc, part)
+			op(vals, part)
 		}
 	}
-	return acc
+	return true
+}
+
+// bcastFloat64sInPlace broadcasts root's vals into every rank's vals along
+// the binomial tree of Bcast, forwarding pooled byte buffers instead of
+// allocating per hop. All ranks must pass equal-length slices.
+func (p *Proc) bcastFloat64sInPlace(root int, vals []float64) {
+	size := p.world.size
+	if size == 1 {
+		return
+	}
+	const tag = collTagBase + 2
+	vrank := (p.rank - root + size) % size
+	var wire []byte
+	if vrank == 0 {
+		wire = PackFloat64sInto(p.AcquireBuf(), vals)
+	} else {
+		mask := 1
+		for mask<<1 <= vrank {
+			mask <<= 1
+		}
+		src := ((vrank - mask) + root) % size
+		wire = p.Recv(src, tag)
+		xs := UnpackFloat64sInto(p.f64[:0], wire)
+		p.f64 = xs[:0]
+		if len(xs) != len(vals) {
+			panic(fmt.Sprintf("mpisim: broadcast length mismatch: %d vs %d", len(xs), len(vals)))
+		}
+		copy(vals, xs)
+	}
+	startMask := 1
+	for startMask <= vrank {
+		startMask <<= 1
+	}
+	for mask := startMask; vrank+mask < size; mask <<= 1 {
+		dst := ((vrank + mask) + root) % size
+		p.SendOwned(dst, tag, append(p.AcquireBuf(), wire...))
+	}
+	p.ReleaseBuf(wire)
+}
+
+// AllreduceInPlace combines vals across all ranks with op, leaving the
+// result in vals on every rank (reduce to 0, then broadcast). It is the
+// allocation-free form of Allreduce: hot loops call it with a per-rank
+// scratch slice. The cost and the result bits are identical to Allreduce.
+func (p *Proc) AllreduceInPlace(vals []float64, op ReduceOp) {
+	p.reduceInPlace(0, vals, op)
+	p.bcastFloat64sInPlace(0, vals)
 }
 
 // Allreduce combines vals across all ranks with op and returns the result
 // on every rank (reduce to 0, then broadcast). The per-iteration max-clock
 // synchronization and total-workload sums of the application run on this.
 func (p *Proc) Allreduce(vals []float64, op ReduceOp) []float64 {
-	acc := p.Reduce(0, vals, op)
-	var packed []byte
-	if p.rank == 0 {
-		packed = PackFloat64s(acc)
-	}
-	return UnpackFloat64s(p.Bcast(0, packed))
+	out := append([]float64(nil), vals...)
+	p.AllreduceInPlace(out, op)
+	return out
 }
 
 // AllreduceMax is shorthand for a scalar max-Allreduce.
 func (p *Proc) AllreduceMax(x float64) float64 {
-	return p.Allreduce([]float64{x}, OpMax)[0]
+	p.s1[0] = x
+	p.AllreduceInPlace(p.s1[:], OpMax)
+	return p.s1[0]
 }
 
 // AllreduceSum is shorthand for a scalar sum-Allreduce.
 func (p *Proc) AllreduceSum(x float64) float64 {
-	return p.Allreduce([]float64{x}, OpSum)[0]
+	p.s1[0] = x
+	p.AllreduceInPlace(p.s1[:], OpSum)
+	return p.s1[0]
 }

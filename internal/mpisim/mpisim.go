@@ -16,9 +16,17 @@
 // per-byte cost, and homogeneous PE speed — because the paper's conclusions
 // depend on the relative cost of imbalance versus balancing, not on network
 // topology details.
+//
+// Worlds are reusable: mailbox maps, queue slices, and per-rank Procs
+// survive across runs, and AcquireWorld/Release pool them by (size, cost)
+// so sweeping thousands of scenarios does not rebuild the machine each
+// time. Per-rank buffer freelists (AcquireBuf/ReleaseBuf) plus the
+// ownership-transfer SendOwned path let hot loops exchange messages without
+// per-message allocations.
 package mpisim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -64,49 +72,102 @@ type message struct {
 	availAt float64 // virtual time at which the payload is at the receiver
 }
 
+// msgQueue is the FIFO of one (source, tag) stream, with its own condition
+// variable so a delivery wakes only a receiver blocked on this stream. The
+// slice is a reusable ring: head marks the first pending message, and when
+// the queue drains it rewinds to reuse the same backing array.
+type msgQueue struct {
+	cond sync.Cond
+	msgs []message
+	head int
+}
+
 // mailbox holds the pending messages of one rank, keyed by (source, tag),
 // each stream FIFO. Sends are buffered (eager protocol), so a send never
-// blocks; receives block until a matching message exists.
+// blocks; receives block until a matching message exists. Queues are never
+// deleted: a mailbox warms up to its program's stream set and then delivers
+// without allocating.
 type mailbox struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[msgKey][]message
+	queues map[msgKey]*msgQueue
+	// spurious counts wakeup signals issued to a blocked receiver that
+	// cannot consume the delivery. Per-stream conditions keep it at zero
+	// (only a matching delivery signals the waiter); the diagnostic exists
+	// for the wakeup benchmark and regression tests.
+	spurious uint64
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[msgKey][]message)}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{queues: make(map[msgKey]*msgQueue)}
+}
+
+// queue returns the stream for key, creating it on first use.
+func (m *mailbox) queue(key msgKey) *msgQueue {
+	q := m.queues[key]
+	if q == nil {
+		q = &msgQueue{}
+		q.cond.L = &m.mu
+		m.queues[key] = q
+	}
+	return q
 }
 
 func (m *mailbox) put(key msgKey, msg message) {
 	m.mu.Lock()
-	m.queues[key] = append(m.queues[key], msg)
+	q := m.queue(key)
+	q.msgs = append(q.msgs, msg)
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	// Only a receiver blocked on this very stream can be waiting on q.cond,
+	// so this wakes exactly the goroutine that can consume the message —
+	// no thundering herd across unrelated (src, tag) streams.
+	q.cond.Signal()
 }
 
 func (m *mailbox) take(key msgKey) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queues[key]) == 0 {
-		m.cond.Wait()
+	q := m.queue(key)
+	for q.head == len(q.msgs) {
+		q.cond.Wait()
+		if q.head == len(q.msgs) {
+			m.spurious++
+		}
 	}
-	q := m.queues[key]
-	msg := q[0]
-	if len(q) == 1 {
-		delete(m.queues, key)
-	} else {
-		m.queues[key] = q[1:]
+	msg := q.msgs[q.head]
+	q.msgs[q.head] = message{}
+	q.head++
+	if q.head == len(q.msgs) {
+		q.head = 0
+		q.msgs = q.msgs[:0]
 	}
 	return msg
 }
 
-// World is one simulated machine: a set of ranks and their mailboxes.
+// reset drops any pending messages and releases their payload references,
+// returning every stream to its empty rewound state.
+func (m *mailbox) reset() {
+	m.mu.Lock()
+	for _, q := range m.queues {
+		for i := q.head; i < len(q.msgs); i++ {
+			q.msgs[i] = message{}
+		}
+		q.head = 0
+		q.msgs = q.msgs[:0]
+	}
+	m.spurious = 0
+	m.mu.Unlock()
+}
+
+// World is one simulated machine: a set of ranks and their mailboxes. A
+// world is reusable — Run resets the per-rank state, and the mailbox maps,
+// queue slices, and per-rank buffer freelists carry over between runs.
 type World struct {
-	size  int
-	cost  CostModel
-	boxes []*mailbox
+	size   int
+	cost   CostModel
+	boxes  []*mailbox
+	procs  []Proc
+	errs   []error
+	failed bool
 }
 
 // NewWorld creates a world of size ranks with the given cost model.
@@ -118,15 +179,63 @@ func NewWorld(size int, cost CostModel) *World {
 	if err := cost.Validate(); err != nil {
 		panic(err)
 	}
-	w := &World{size: size, cost: cost, boxes: make([]*mailbox, size)}
+	w := &World{
+		size:  size,
+		cost:  cost,
+		boxes: make([]*mailbox, size),
+		procs: make([]Proc, size),
+		errs:  make([]error, size),
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+		w.procs[i].world = w
+		w.procs[i].rank = i
 	}
 	return w
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// worldPools pools reusable worlds by their (size, cost) shape, so sweep
+// engines running thousands of same-shaped scenarios reuse the mailbox maps
+// and freelists instead of rebuilding them per scenario.
+var worldPools sync.Map // worldShape -> *sync.Pool
+
+type worldShape struct {
+	size int
+	cost CostModel
+}
+
+// AcquireWorld returns a reusable world of the given shape, creating one if
+// the pool is empty. Pair it with Release when the run completed cleanly.
+func AcquireWorld(size int, cost CostModel) *World {
+	if p, ok := worldPools.Load(worldShape{size, cost}); ok {
+		if w, _ := p.(*sync.Pool).Get().(*World); w != nil {
+			return w
+		}
+	}
+	return NewWorld(size, cost)
+}
+
+// Release returns the world to the pool for reuse. Mailboxes are drained
+// first, so a program that left unconsumed messages behind cannot leak them
+// into a later run. A world whose last run failed is discarded instead:
+// its goroutines may have stopped mid-protocol.
+func (w *World) Release() {
+	if w.failed {
+		return
+	}
+	for _, box := range w.boxes {
+		box.reset()
+	}
+	shape := worldShape{w.size, w.cost}
+	p, ok := worldPools.Load(shape)
+	if !ok {
+		p, _ = worldPools.LoadOrStore(shape, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(w)
+}
 
 // Stats aggregates the per-rank instrumentation counters. They are
 // maintained out-of-band: reading them costs no virtual time.
@@ -146,6 +255,16 @@ type Proc struct {
 	rank  int
 	clock float64
 	stats Stats
+	bufs  [][]byte   // freelist of wire buffers (AcquireBuf/ReleaseBuf)
+	f64   []float64  // scratch for collective partial results
+	s1    [1]float64 // scratch for scalar allreduces
+}
+
+// reset prepares the Proc for a fresh run, keeping its buffer freelist and
+// scratch capacity.
+func (p *Proc) reset() {
+	p.clock = 0
+	p.stats = Stats{}
 }
 
 // Rank returns this PE's rank in [0, Size).
@@ -162,6 +281,29 @@ func (p *Proc) Stats() Stats { return p.stats }
 
 // Cost returns the world's cost model.
 func (p *Proc) Cost() CostModel { return p.world.cost }
+
+// AcquireBuf returns an empty buffer from the rank's freelist (nil when the
+// freelist is dry; the append-into codecs grow it as needed). Use it for
+// payloads handed to SendOwned, and return received pooled payloads with
+// ReleaseBuf; steady-state message passing then allocates nothing.
+func (p *Proc) AcquireBuf() []byte {
+	if n := len(p.bufs); n > 0 {
+		b := p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// ReleaseBuf recycles a buffer into the rank's freelist. The freelist is
+// bounded; beyond that, buffers fall back to the garbage collector.
+func (p *Proc) ReleaseBuf(b []byte) {
+	if cap(b) == 0 || len(p.bufs) >= 64 {
+		return
+	}
+	p.bufs = append(p.bufs, b)
+}
 
 // Compute advances the clock by flops/FLOPS seconds of pure computation.
 // Negative amounts are a programming error.
@@ -198,6 +340,26 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 // state), so communication costs reflect the modeled system rather than
 // the simulation's encoding.
 func (p *Proc) SendV(dst, tag int, data []byte, virtualBytes int) {
+	p.deliver(dst, tag, append([]byte(nil), data...), virtualBytes)
+}
+
+// SendOwned is Send without the defensive copy: ownership of data transfers
+// to the receiver, which gets the very same backing array from Recv (and may
+// recycle it with ReleaseBuf). The caller must not touch data afterwards.
+// Cost semantics are identical to Send.
+func (p *Proc) SendOwned(dst, tag int, data []byte) {
+	p.deliver(dst, tag, data, len(data))
+}
+
+// SendOwnedV is SendOwned with an explicit virtual wire size, the
+// ownership-transfer counterpart of SendV.
+func (p *Proc) SendOwnedV(dst, tag int, data []byte, virtualBytes int) {
+	p.deliver(dst, tag, data, virtualBytes)
+}
+
+// deliver implements the shared send path: charge the cost model and hand
+// payload (already owned by the message) to the destination mailbox.
+func (p *Proc) deliver(dst, tag int, payload []byte, virtualBytes int) {
 	if dst < 0 || dst >= p.world.size {
 		panic(fmt.Sprintf("mpisim: rank %d sending to invalid rank %d", p.rank, dst))
 	}
@@ -210,7 +372,6 @@ func (p *Proc) SendV(dst, tag int, data []byte, virtualBytes int) {
 	p.stats.SendTime += cost.Latency
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(virtualBytes)
-	payload := append([]byte(nil), data...)
 	p.world.boxes[dst].put(
 		msgKey{src: p.rank, tag: tag},
 		message{payload: payload, availAt: start + cost.Latency + float64(virtualBytes)*cost.ByteTime},
@@ -219,7 +380,9 @@ func (p *Proc) SendV(dst, tag int, data []byte, virtualBytes int) {
 
 // Recv blocks until a message from src with the given tag is available and
 // returns its payload. The receiver waits (idle virtual time) if the data
-// has not arrived yet, then pays one latency of CPU overhead.
+// has not arrived yet, then pays one latency of CPU overhead. The payload is
+// owned by the receiver; if it came from a pooled SendOwned buffer it may be
+// recycled with ReleaseBuf once decoded.
 func (p *Proc) Recv(src, tag int) []byte {
 	if src < 0 || src >= p.world.size {
 		panic(fmt.Sprintf("mpisim: rank %d receiving from invalid rank %d", p.rank, src))
@@ -243,6 +406,14 @@ func (p *Proc) SendRecv(dst int, sendData []byte, src, tag int) []byte {
 	return p.Recv(src, tag)
 }
 
+// SendRecvOwned is SendRecv on the ownership-transfer path: sendData is
+// handed over without a copy, and the returned payload is owned by the
+// caller (recyclable with ReleaseBuf).
+func (p *Proc) SendRecvOwned(dst int, sendData []byte, src, tag int) []byte {
+	p.SendOwned(dst, tag, sendData)
+	return p.Recv(src, tag)
+}
+
 // Run executes body as rank goroutines 0..size-1 and waits for all of them.
 // It returns the combined errors of all ranks; a panicking rank is reported
 // as an error carrying its stack trace. On a non-nil return the world must
@@ -252,26 +423,30 @@ func Run(size int, cost CostModel, body func(p *Proc) error) error {
 	return w.Run(body)
 }
 
-// Run executes one SPMD program over this world's ranks.
+// Run executes one SPMD program over this world's ranks, reusing the
+// per-rank Procs and mailboxes of any earlier run.
 func (w *World) Run(body func(p *Proc) error) error {
-	errs := make([]error, w.size)
+	w.failed = false
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
+		w.errs[r] = nil
+		w.procs[r].reset()
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("mpisim: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+					w.errs[rank] = fmt.Errorf("mpisim: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
 				}
 			}()
-			errs[rank] = body(&Proc{world: w, rank: rank})
+			w.errs[rank] = body(&w.procs[rank])
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range w.errs {
 		if err != nil {
-			return joinErrors(errs)
+			w.failed = true
+			return joinErrors(w.errs)
 		}
 	}
 	return nil
@@ -282,8 +457,23 @@ func (w *World) Run(body func(p *Proc) error) error {
 // (max of clocks) and PE usage.
 func RunCollect(size int, cost CostModel, body func(p *Proc) error) ([]float64, []Stats, error) {
 	w := NewWorld(size, cost)
-	clocks := make([]float64, size)
-	allStats := make([]Stats, size)
+	return runCollect(w, body)
+}
+
+// RunCollectPooled is RunCollect over a pooled reusable world: the sweep
+// engines' entry point. The world returns to the pool after a clean run, so
+// back-to-back scenarios of the same shape reuse mailboxes, queues, and
+// per-rank buffer freelists instead of rebuilding them.
+func RunCollectPooled(size int, cost CostModel, body func(p *Proc) error) ([]float64, []Stats, error) {
+	w := AcquireWorld(size, cost)
+	clocks, allStats, err := runCollect(w, body)
+	w.Release()
+	return clocks, allStats, err
+}
+
+func runCollect(w *World, body func(p *Proc) error) ([]float64, []Stats, error) {
+	clocks := make([]float64, w.size)
+	allStats := make([]Stats, w.size)
 	err := w.Run(func(p *Proc) error {
 		defer func() {
 			clocks[p.rank] = p.clock
@@ -294,6 +484,8 @@ func RunCollect(size int, cost CostModel, body func(p *Proc) error) ([]float64, 
 	return clocks, allStats, err
 }
 
+// joinErrors combines the per-rank failures: every failing rank's
+// diagnostic surfaces, not just the first one.
 func joinErrors(errs []error) error {
 	var first error
 	n := 0
@@ -308,5 +500,5 @@ func joinErrors(errs []error) error {
 	if n <= 1 {
 		return first
 	}
-	return fmt.Errorf("%d ranks failed; first: %w", n, first)
+	return fmt.Errorf("%d ranks failed: %w", n, errors.Join(errs...))
 }

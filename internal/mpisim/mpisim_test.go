@@ -192,6 +192,28 @@ func TestMultipleErrorsJoined(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "2 ranks failed") {
 		t.Fatalf("joined error malformed: %v", err)
 	}
+	// Every failing rank's diagnostic must surface, not just the first.
+	for _, want := range []string{"rank 0 failed", "rank 2 failed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error lost %q: %v", want, err)
+		}
+	}
+}
+
+func TestMultipleErrorsJoinedIs(t *testing.T) {
+	// errors.Is must see through the join to every rank's error.
+	sentinels := []error{errors.New("a"), errors.New("b")}
+	err := Run(3, testCost(), func(p *Proc) error {
+		if p.Rank() < 2 {
+			return sentinels[p.Rank()]
+		}
+		return nil
+	})
+	for i, s := range sentinels {
+		if !errors.Is(err, s) {
+			t.Errorf("sentinel %d not reachable through the joined error: %v", i, err)
+		}
+	}
 }
 
 func TestSendRecvRingNoDeadlock(t *testing.T) {
@@ -327,6 +349,179 @@ func TestPayloadIntegrityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSendOwnedTransfersBackingArray(t *testing.T) {
+	// A self-exchange keeps sender and receiver on one goroutine, so the
+	// identity of the backing array can be checked without a data race.
+	err := Run(1, testCost(), func(p *Proc) error {
+		buf := []byte{1, 2, 3}
+		p.SendOwned(0, 4, buf)
+		got := p.Recv(0, 4)
+		if &got[0] != &buf[0] {
+			return fmt.Errorf("SendOwned copied the payload")
+		}
+		p.SendOwnedV(0, 5, buf, 1<<20)
+		if got := p.Stats().BytesSent; got != 3+1<<20 {
+			return fmt.Errorf("SendOwnedV charged %d bytes", got)
+		}
+		p.Recv(0, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOwnedRing(t *testing.T) {
+	const size = 8
+	err := Run(size, testCost(), func(p *Proc) error {
+		right := (p.Rank() + 1) % size
+		left := (p.Rank() - 1 + size) % size
+		buf := append(p.AcquireBuf(), byte(p.Rank()))
+		got := p.SendRecvOwned(right, buf, left, 9)
+		if got[0] != byte(left) {
+			return fmt.Errorf("ring exchange wrong: got %d want %d", got[0], left)
+		}
+		p.ReleaseBuf(got)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireReleaseBuf(t *testing.T) {
+	p := &Proc{}
+	if got := p.AcquireBuf(); got != nil {
+		t.Fatalf("empty freelist returned %v", got)
+	}
+	b := make([]byte, 3, 32)
+	p.ReleaseBuf(b)
+	got := p.AcquireBuf()
+	if len(got) != 0 || cap(got) != 32 {
+		t.Fatalf("recycled buffer has len %d cap %d", len(got), cap(got))
+	}
+	p.ReleaseBuf(nil) // zero-capacity buffers are not worth keeping
+	if len(p.bufs) != 0 {
+		t.Fatal("nil buffer entered the freelist")
+	}
+	for i := 0; i < 100; i++ {
+		p.ReleaseBuf(make([]byte, 1))
+	}
+	if len(p.bufs) > 64 {
+		t.Fatalf("freelist unbounded: %d entries", len(p.bufs))
+	}
+}
+
+func TestWorldReuseIsDeterministic(t *testing.T) {
+	// Two runs over the same world must produce identical clocks: Run must
+	// fully reset per-rank state.
+	w := NewWorld(4, testCost())
+	body := func(p *Proc) error {
+		p.Compute(float64(p.Rank()+1) * 1e6)
+		p.Barrier()
+		p.AllreduceSum(float64(p.Rank()))
+		return nil
+	}
+	run := func() []float64 {
+		clocks := make([]float64, 4)
+		err := w.Run(func(p *Proc) error {
+			defer func() { clocks[p.Rank()] = p.Clock() }()
+			return body(p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clocks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d clock differs across world reuse: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunCollectPooledMatchesRunCollect(t *testing.T) {
+	body := func(p *Proc) error {
+		p.Compute(float64(p.Rank()+1) * 1e5)
+		p.AllreduceMax(p.Clock())
+		// Leave an unconsumed message behind: Release must drain it so a
+		// pooled world cannot deliver stale state to a later scenario.
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte{42})
+		}
+		return nil
+	}
+	wantClocks, wantStats, err := RunCollect(3, testCost(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		clocks, statsAll, err := RunCollectPooled(3, testCost(), body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range clocks {
+			if clocks[r] != wantClocks[r] || statsAll[r] != wantStats[r] {
+				t.Fatalf("pooled run %d diverged at rank %d: %v vs %v", i, r, clocks[r], wantClocks[r])
+			}
+		}
+	}
+}
+
+func TestReleaseDropsFailedWorld(t *testing.T) {
+	w := AcquireWorld(2, testCost())
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	w.Release()
+	if w2 := AcquireWorld(2, testCost()); w2 == w {
+		t.Fatal("failed world re-entered the pool")
+	}
+}
+
+func TestNoSpuriousWakeups(t *testing.T) {
+	// Cross-stream traffic with forced interleaving (see the wakeup
+	// benchmark) must never wake a receiver that cannot consume.
+	w := NewWorld(3, testCost())
+	err := w.Run(func(p *Proc) error {
+		switch p.Rank() {
+		case 0:
+			for n := 0; n < 64; n++ {
+				p.Send(2, 2, nil)
+				p.Send(1, 3, nil)
+				p.Recv(1, 4)
+			}
+			p.Send(2, 1, nil)
+		case 1:
+			for n := 0; n < 64; n++ {
+				p.Recv(0, 3)
+				p.Send(0, 4, nil)
+			}
+		case 2:
+			p.Recv(0, 1)
+			for n := 0; n < 64; n++ {
+				p.Recv(0, 2)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, box := range w.boxes {
+		if box.spurious != 0 {
+			t.Errorf("rank %d saw %d spurious wakeups", r, box.spurious)
+		}
 	}
 }
 

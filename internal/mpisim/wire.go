@@ -7,49 +7,73 @@ import (
 
 // Wire encoding helpers. Payloads travel as []byte so the cost model can
 // charge for their real size; these helpers give the fixed little-endian
-// encodings used across the repository.
+// encodings used across the repository. Each codec has an allocating form
+// and an append-into form (suffix -Into) that extends a caller-provided
+// buffer — hot loops pair the latter with per-rank scratch or pooled
+// buffers (Proc.AcquireBuf) for allocation-free message passing.
 
 // PackFloat64s encodes xs as little-endian IEEE 754 doubles.
 func PackFloat64s(xs []float64) []byte {
-	b := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	return PackFloat64sInto(make([]byte, 0, 8*len(xs)), xs)
+}
+
+// PackFloat64sInto appends the encoding of PackFloat64s to dst and returns
+// the extended buffer.
+func PackFloat64sInto(dst []byte, xs []float64) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
 	}
-	return b
+	return dst
 }
 
 // UnpackFloat64s decodes the encoding of PackFloat64s. Trailing partial
 // words are a protocol error and panic.
 func UnpackFloat64s(b []byte) []float64 {
+	return UnpackFloat64sInto(make([]float64, 0, len(b)/8), b)
+}
+
+// UnpackFloat64sInto appends the decoded values to dst and returns the
+// extended slice; pass scratch[:0] to reuse a buffer across decodes. It
+// panics on trailing partial words like UnpackFloat64s.
+func UnpackFloat64sInto(dst []float64, b []byte) []float64 {
 	if len(b)%8 != 0 {
 		panic("mpisim: float64 payload length not a multiple of 8")
 	}
-	xs := make([]float64, len(b)/8)
-	for i := range xs {
-		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	for ; len(b) >= 8; b = b[8:] {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(b)))
 	}
-	return xs
+	return dst
 }
 
 // PackInts encodes xs as little-endian int64s.
 func PackInts(xs []int) []byte {
-	b := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(int64(x)))
+	return PackIntsInto(make([]byte, 0, 8*len(xs)), xs)
+}
+
+// PackIntsInto appends the encoding of PackInts to dst and returns the
+// extended buffer.
+func PackIntsInto(dst []byte, xs []int) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(x)))
 	}
-	return b
+	return dst
 }
 
 // UnpackInts decodes the encoding of PackInts.
 func UnpackInts(b []byte) []int {
+	return UnpackIntsInto(make([]int, 0, len(b)/8), b)
+}
+
+// UnpackIntsInto appends the decoded values to dst and returns the extended
+// slice; it panics on trailing partial words like UnpackInts.
+func UnpackIntsInto(dst []int, b []byte) []int {
 	if len(b)%8 != 0 {
 		panic("mpisim: int payload length not a multiple of 8")
 	}
-	xs := make([]int, len(b)/8)
-	for i := range xs {
-		xs[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	for ; len(b) >= 8; b = b[8:] {
+		dst = append(dst, int(int64(binary.LittleEndian.Uint64(b))))
 	}
-	return xs
+	return dst
 }
 
 // packByteSlices frames a slice of byte slices as
@@ -78,6 +102,13 @@ func unpackByteSlices(b []byte) [][]byte {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
+	// Every framed part costs at least its 4-byte length header, so the
+	// remaining payload bounds the plausible count. Checking before
+	// allocating keeps a corrupt count header from demanding an enormous
+	// slice just to panic on the first truncated part.
+	if uint64(n) > uint64(len(b)/4) {
+		panic("mpisim: framed payload truncated header")
+	}
 	out := make([][]byte, n)
 	for i := range out {
 		if len(b) < 4 {

@@ -1,0 +1,138 @@
+package mpisim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Fuzz harness for the wire codecs: every decoder either round-trips
+// losslessly with its encoder (including the append-into variants) or
+// panics on the documented corruption classes — never anything in between.
+
+// mustPanic runs f and reports the panic message, failing the test if f
+// returns normally.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg, ok := rec.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", rec, want)
+		}
+	}()
+	f()
+}
+
+func FuzzFloat64sRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(PackFloat64s([]float64{0, 1.5, -2.25, math.Inf(1)}))
+	f.Add([]byte{1, 2, 3}) // partial word: must panic
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b)%8 != 0 {
+			mustPanic(t, "not a multiple of 8", func() { UnpackFloat64s(b) })
+			mustPanic(t, "not a multiple of 8", func() { UnpackFloat64sInto(nil, b) })
+			return
+		}
+		xs := UnpackFloat64s(b)
+		if !bytes.Equal(PackFloat64s(xs), b) {
+			t.Fatalf("float64 round trip lost bits: % x", b)
+		}
+		scratch := make([]float64, 0, len(b)/8)
+		into := UnpackFloat64sInto(scratch, b)
+		out := PackFloat64sInto(make([]byte, 0, len(b)), into)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("float64 -Into round trip lost bits: % x", b)
+		}
+	})
+}
+
+func FuzzIntsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(PackInts([]int{0, -1, 1 << 40}))
+	f.Add([]byte{9, 9, 9, 9, 9}) // partial word: must panic
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b)%8 != 0 {
+			mustPanic(t, "not a multiple of 8", func() { UnpackInts(b) })
+			mustPanic(t, "not a multiple of 8", func() { UnpackIntsInto(nil, b) })
+			return
+		}
+		xs := UnpackInts(b)
+		if !bytes.Equal(PackInts(xs), b) {
+			t.Fatalf("int round trip changed bytes: % x", b)
+		}
+		if !bytes.Equal(PackIntsInto(nil, UnpackIntsInto(nil, b)), b) {
+			t.Fatalf("int -Into round trip changed bytes: % x", b)
+		}
+	})
+}
+
+func FuzzByteSlicesRoundTrip(f *testing.F) {
+	f.Add([]byte{})                          // too short: must panic
+	f.Add([]byte{0, 0, 0, 0})                // zero parts
+	f.Add([]byte{2, 0, 0, 0})                // claims 2 parts, no headers
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0, 1}) // truncated body
+	f.Add(packByteSlices([][]byte{nil, {1}, {2, 3, 4}}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		parts, err := tryUnpackByteSlices(b)
+		if err != "" {
+			if !strings.Contains(err, "framed payload") {
+				t.Fatalf("unexpected panic class: %v", err)
+			}
+			return
+		}
+		// A successful decode re-encodes to a prefix of the input (the
+		// framing is self-delimiting; trailing garbage is ignored).
+		packed := packByteSlices(parts)
+		if len(packed) > len(b) || !bytes.Equal(packed, b[:len(packed)]) {
+			t.Fatalf("byte-slice framing round trip diverged: % x vs % x", packed, b)
+		}
+	})
+}
+
+// tryUnpackByteSlices converts the decoder's panic into a string so the
+// fuzzer can classify corrupt frames.
+func tryUnpackByteSlices(b []byte) (parts [][]byte, panicMsg string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			parts, panicMsg = nil, rec.(string)
+		}
+	}()
+	return unpackByteSlices(b), ""
+}
+
+// TestUnpackByteSlicesBoundsCountFirst is the regression test for the
+// untrusted count header: a frame claiming 2^31 parts with a 9-byte body
+// must be rejected before the [][]byte allocation is attempted (previously
+// it allocated tens of gigabytes just to panic on the first part).
+func TestUnpackByteSlicesBoundsCountFirst(t *testing.T) {
+	frame := make([]byte, 9)
+	binary.LittleEndian.PutUint32(frame, 1<<31)
+	mustPanic(t, "truncated header", func() { unpackByteSlices(frame) })
+}
+
+// TestPackByteSlicesRoundTrip pins the framing against hand-built parts,
+// including empty and nil parts.
+func TestPackByteSlicesRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{},
+		{nil},
+		{{}, {1}, nil, {2, 3, 4, 5}},
+	}
+	for _, parts := range cases {
+		got := unpackByteSlices(packByteSlices(parts))
+		if len(got) != len(parts) {
+			t.Fatalf("part count %d, want %d", len(got), len(parts))
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				t.Fatalf("part %d = % x, want % x", i, got[i], parts[i])
+			}
+		}
+	}
+}

@@ -20,10 +20,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 
 	"ulba"
 	"ulba/internal/jobs"
 )
+
+// jobUnitHook, when set, runs after every freshly computed unit a
+// sweep-shaped job checkpoints. Tests use it to park a job mid-run (until
+// its context is cancelled), turning crash/cancel races that would
+// otherwise depend on scheduler timing into deterministic sequences.
+var jobUnitHook atomic.Pointer[func(ctx context.Context)]
 
 // jobSubmission is the body of POST /v1/jobs: an engine request wrapped
 // with its type. Request is the exact body the matching synchronous
@@ -239,6 +246,9 @@ func collectJob[R any](ctx context.Context, s *Server, j *jobs.Job, key string, 
 		}
 		j.Event(buf)
 		j.Advance()
+		if hook := jobUnitHook.Load(); hook != nil {
+			(*hook)(runCtx)
+		}
 	}
 	if firstErr != nil {
 		return firstErr

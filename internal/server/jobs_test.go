@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -208,7 +209,13 @@ func TestJobListAndStats(t *testing.T) {
 // TestJobResultNotReady pins the /result conflict surface and the cancel
 // flow for a queued job.
 func TestJobResultStates(t *testing.T) {
-	// One engine slot and one job worker: a long job ahead of a queued one.
+	// One engine slot and one job worker: a blocker ahead of a queued job.
+	// The unit hook parks the blocker after its first unit (until it is
+	// cancelled), so the queued job's conflict surface is probed while the
+	// worker is provably occupied — no engine-speed assumptions.
+	hook := func(ctx context.Context) { <-ctx.Done() }
+	jobUnitHook.Store(&hook)
+	defer jobUnitHook.Store(nil)
 	_, ts, _ := newStoreServer(t, "", Config{JobWorkers: 1})
 	blocker := submitJob(t, ts, "runtime-sweep", `{"sample":{"seed":3,"n":8}}`)
 	queued := submitJob(t, ts, "sweep", `{"sample":{"seed":4,"n":5}}`)
@@ -391,7 +398,7 @@ func TestStoreFallbackAfterEviction(t *testing.T) {
 // an uninterrupted run.
 func TestCrashResume(t *testing.T) {
 	dir := t.TempDir()
-	const n = 48
+	const n = 32
 	request := fmt.Sprintf(`{"sample":{"seed":17,"n":%d}}`, n)
 
 	// The uninterrupted reference run, on a memory-only server.
@@ -399,7 +406,18 @@ func TestCrashResume(t *testing.T) {
 	refResp := post(t, refTS, "/v1/runtime-sweep", request)
 	want := readAll(t, refResp)
 
-	// Server A: start the job, wait for partial progress, then "crash".
+	// Server A: start the job, park it mid-run via the unit hook (after 8
+	// checkpointed units it blocks until cancelled — no scheduler timing
+	// involved), then "crash".
+	const holdAfter = 8
+	var units atomic.Int32
+	hook := func(ctx context.Context) {
+		if units.Add(1) >= holdAfter {
+			<-ctx.Done()
+		}
+	}
+	jobUnitHook.Store(&hook)
+	defer jobUnitHook.Store(nil)
 	_, ts1, shutdown1 := newStoreServer(t, dir, Config{})
 	st := submitJob(t, ts1, "runtime-sweep", request)
 	deadline := time.Now().Add(60 * time.Second)
@@ -410,11 +428,11 @@ func TestCrashResume(t *testing.T) {
 		}
 		cur := decodeBody[jobs.Status](t, resp)
 		resp.Body.Close()
-		if cur.Progress.Completed > 0 && cur.State == jobs.StateRunning {
+		if cur.Progress.Completed >= holdAfter && cur.State == jobs.StateRunning {
 			break
 		}
 		if cur.State.Terminal() {
-			t.Fatalf("job finished before the crash could interrupt it: %+v (grow n)", cur)
+			t.Fatalf("job finished before the crash could interrupt it: %+v", cur)
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("no progress before deadline")
@@ -432,6 +450,7 @@ func TestCrashResume(t *testing.T) {
 		t.Fatalf("interrupted job = %+v", interrupted)
 	}
 	shutdown1()
+	jobUnitHook.Store(nil) // server B's resumed run proceeds unthrottled
 
 	// Server B: the resubmission resumes — some units come from the
 	// checkpoint — and the final bytes match the uninterrupted run.

@@ -111,6 +111,16 @@ func NewRuntime(p int, opts ...Option) (*RuntimeExperiment, error) {
 	if err := e.cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Pre-evaluate the weight function over the scenario grid so every run
+	// (the configured one, the no-LB baseline, and repeated Run calls) reads
+	// the table instead of re-invoking the closure per item per iteration.
+	// The values are the exact float64s the function returns, so results
+	// are bit-for-bit unchanged; the guard keeps pathological grids from
+	// pinning memory (the table is an optimization, never a requirement).
+	const maxTableCells = 4 << 20
+	if e.cfg.Items*e.cfg.Iterations <= maxTableCells {
+		e.cfg.Table = lb.BuildWeightTable(e.cfg.Items, e.cfg.Iterations, e.cfg.Weight)
+	}
 	e.perfect = lb.PerfectTime(e.cfg)
 	return e, nil
 }
