@@ -96,9 +96,29 @@ type benchRecord struct {
 	Summary       summaryRecord `json:"summary"`
 
 	Runtime *runtimeRecord `json:"runtime,omitempty"`
+	Matrix  *matrixRecord  `json:"matrix,omitempty"`
 	Server  *serverRecord  `json:"server,omitempty"`
 	Jobs    *jobsRecord    `json:"jobs,omitempty"`
 	Loadgen *loadgenRecord `json:"loadgen,omitempty"`
+}
+
+// matrixRecord is the exemplar-matrix entry of the trajectory: a pinned
+// planner x trigger matrix over the exemplar-derived workloads (minife,
+// amr, target), each cell run homogeneous and with a heterogeneous speed
+// vector. The matrix is fully pinned — it does not scale with -short — so
+// its deterministic fields participate in every -against diff: the
+// SHA-256 covers the marshaled result of every cell, and any change there
+// means the scenario engine's semantics moved.
+type matrixRecord struct {
+	Cells       int     `json:"cells"`
+	Workloads   int     `json:"workloads"`
+	Policies    int     `json:"policies"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+
+	MeanGain      float64 `json:"mean_gain"`
+	MeanWLI       float64 `json:"mean_wli"`
+	ResultsSHA256 string  `json:"results_sha256"`
 }
 
 // loadgenRecord is the sustained-traffic entry of the trajectory: an
@@ -179,6 +199,7 @@ type runtimeRecord struct {
 	MedianEfficiency float64 `json:"median_efficiency"`
 	MeanLBCalls      float64 `json:"mean_lb_calls"`
 	MeanUsage        float64 `json:"mean_usage"`
+	MeanWLI          float64 `json:"mean_wli"`
 }
 
 func fatal(args ...any) {
@@ -195,6 +216,7 @@ func main() {
 		short      = flag.Bool("short", false, "CI-sized workload (200 instances and 12 runtime scenarios unless set explicitly)")
 		noSlow     = flag.Bool("noslow", false, "skip the slow-path baseline (no speedup field)")
 		scenarios  = flag.Int("runtime-scenarios", 24, "pinned runtime-sweep scenarios (0 skips the runtime entry)")
+		matrix     = flag.Bool("matrix", true, "run the pinned planner x trigger matrix over the exemplar workloads")
 		serverReqs = flag.Int("server-requests", 64, "pinned HTTP sweep requests against an in-process ulba-serve (0 skips the server entry)")
 		jobReqs    = flag.Int("job-requests", 32, "pinned async job submissions against a store-backed ulba-serve (0 skips the jobs entry)")
 		lgStage    = flag.Duration("loadgen-stage", 2*time.Second, "measurement window per load-ramp stage (0 skips the loadgen entry)")
@@ -326,6 +348,14 @@ func main() {
 		rec.Runtime = rt
 	}
 
+	if *matrix {
+		mr, err := measureMatrix(ctx, *seed, *workers)
+		if err != nil {
+			fatal("matrix:", err)
+		}
+		rec.Matrix = mr
+	}
+
 	if *serverReqs > 0 {
 		sr, err := measureServer(*serverReqs, *seed, *workers)
 		if err != nil {
@@ -378,6 +408,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "runtime: %d scenarios x %d workloads: %.1f scenarios/sec, %.0f allocs/scenario, mean gain %+.2f%%\n",
 			rec.Runtime.Scenarios, rec.Runtime.Workloads, rec.Runtime.ScenariosPerSec,
 			rec.Runtime.AllocsPerInst, rec.Runtime.MeanGain*100)
+	}
+	if rec.Matrix != nil {
+		fmt.Fprintf(os.Stderr, "matrix: %d cells (%d workloads x %d policies x 2 clusters): %.0f cells/sec, mean gain %+.2f%%, mean WLI %.3f, sha %.12s\n",
+			rec.Matrix.Cells, rec.Matrix.Workloads, rec.Matrix.Policies, rec.Matrix.CellsPerSec,
+			rec.Matrix.MeanGain*100, rec.Matrix.MeanWLI, rec.Matrix.ResultsSHA256)
 	}
 	if rec.Server != nil {
 		fmt.Fprintf(os.Stderr, "server: %d requests (%d distinct, %d clients): %.0f requests/sec, %d hits + %d joins over %d engine runs\n",
@@ -483,6 +518,7 @@ func diffAgainst(path string, rec benchRecord) error {
 			{"runtime median_efficiency", base.Runtime.MedianEfficiency, rec.Runtime.MedianEfficiency},
 			{"runtime mean_lb_calls", base.Runtime.MeanLBCalls, rec.Runtime.MeanLBCalls},
 			{"runtime mean_usage", base.Runtime.MeanUsage, rec.Runtime.MeanUsage},
+			{"runtime mean_wli", base.Runtime.MeanWLI, rec.Runtime.MeanWLI},
 		}
 		for _, c := range checks {
 			if c.base != c.this {
@@ -502,6 +538,18 @@ func diffAgainst(path string, rec benchRecord) error {
 		if base.Runtime.ScenariosPerSec > 0 && rec.Runtime.ScenariosPerSec < base.Runtime.ScenariosPerSec/3 {
 			return fmt.Errorf("runtime scenarios_per_sec regressed: %.1f -> %.1f (floor %.1f)",
 				base.Runtime.ScenariosPerSec, rec.Runtime.ScenariosPerSec, base.Runtime.ScenariosPerSec/3)
+		}
+	}
+	if base.Matrix != nil && rec.Matrix != nil && base.Matrix.Cells == rec.Matrix.Cells {
+		if base.Matrix.ResultsSHA256 != rec.Matrix.ResultsSHA256 {
+			return fmt.Errorf("matrix results hash moved: %s -> %s — scenario engine semantics changed",
+				base.Matrix.ResultsSHA256, rec.Matrix.ResultsSHA256)
+		}
+		if base.Matrix.MeanGain != rec.Matrix.MeanGain {
+			return fmt.Errorf("matrix mean_gain moved: %v -> %v", base.Matrix.MeanGain, rec.Matrix.MeanGain)
+		}
+		if base.Matrix.MeanWLI != rec.Matrix.MeanWLI {
+			return fmt.Errorf("matrix mean_wli moved: %v -> %v", base.Matrix.MeanWLI, rec.Matrix.MeanWLI)
 		}
 	}
 	if base.Server != nil && rec.Server != nil && base.Server.ResponseSHA256 != rec.Server.ResponseSHA256 {
@@ -811,6 +859,92 @@ func measureServer(requests int, seed uint64, clients int) (*serverRecord, error
 	}, nil
 }
 
+// measureMatrix runs the pinned exemplar matrix: every combination of
+// workload in {minife, amr, target}, policy in {degradation, wli,
+// periodic triggers; sigma+, periodic planners}, and cluster in
+// {homogeneous, heterogeneous [1, 2.5, 1, 4]}. Cell order is fixed, so
+// the SHA-256 over the marshaled results pins every timeline bit.
+func measureMatrix(ctx context.Context, seed uint64, workers int) (*matrixRecord, error) {
+	workloads := []ulba.WorkloadSpec{
+		{Name: "minife", Seed: seed},
+		{Name: "amr", Seed: seed},
+		{Name: "target", Seed: seed, Target: 2},
+	}
+	policies := []struct {
+		trigger *ulba.TriggerSpec
+		planner *ulba.PlannerSpec
+	}{
+		{trigger: &ulba.TriggerSpec{Name: "degradation"}},
+		{trigger: &ulba.TriggerSpec{Name: "wli", Threshold: 0.2}},
+		{trigger: &ulba.TriggerSpec{Name: "periodic", Every: 8}},
+		{planner: &ulba.PlannerSpec{Name: "sigma+"}},
+		{planner: &ulba.PlannerSpec{Name: "periodic", Every: 10}},
+	}
+	speedSets := [][]float64{nil, {1, 2.5, 1, 4}}
+
+	exps := make([]*ulba.RuntimeExperiment, 0, len(workloads)*len(policies)*len(speedSets))
+	for _, ws := range workloads {
+		w, err := ws.Workload()
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			for _, speeds := range speedSets {
+				opts := []ulba.Option{
+					ulba.WithWorkload(w), ulba.WithIterations(60), ulba.WithWorkers(1),
+				}
+				if speeds != nil {
+					opts = append(opts, ulba.WithSpeeds(speeds))
+				}
+				if pol.trigger != nil {
+					t, err := pol.trigger.Trigger()
+					if err != nil {
+						return nil, err
+					}
+					opts = append(opts, ulba.WithTrigger(t))
+				}
+				if pol.planner != nil {
+					pl, err := pol.planner.Planner()
+					if err != nil {
+						return nil, err
+					}
+					opts = append(opts, ulba.WithPlanner(pl))
+				}
+				exp, err := ulba.NewRuntime(4, opts...)
+				if err != nil {
+					return nil, fmt.Errorf("%s cell: %w", ws.Name, err)
+				}
+				exps = append(exps, exp)
+			}
+		}
+	}
+
+	sweep, err := ulba.NewRuntimeSweep(ulba.WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sum, results, err := sweep.Run(ctx, exps)
+	dur := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(results)
+	if err != nil {
+		return nil, err
+	}
+	return &matrixRecord{
+		Cells:         len(exps),
+		Workloads:     len(workloads),
+		Policies:      len(policies),
+		Seconds:       dur.Seconds(),
+		CellsPerSec:   float64(len(exps)) / dur.Seconds(),
+		MeanGain:      sum.Gains.Mean,
+		MeanWLI:       sum.MeanWLI,
+		ResultsSHA256: fmt.Sprintf("%x", sha256.Sum256(raw)),
+	}, nil
+}
+
 // measureRuntimeSweep runs the pinned runtime-scenario mix through the
 // RuntimeSweep engine and records its throughput and deterministic summary.
 // The scenario set is a pure function of the seed and the registered
@@ -853,5 +987,6 @@ func measureRuntimeSweep(ctx context.Context, n int, seed uint64, workers int) (
 		MedianEfficiency: sum.Efficiencies.Median,
 		MeanLBCalls:      sum.MeanLBCalls,
 		MeanUsage:        sum.MeanUsage,
+		MeanWLI:          sum.MeanWLI,
 	}, nil
 }

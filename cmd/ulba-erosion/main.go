@@ -30,22 +30,23 @@ import (
 
 func main() {
 	var (
-		p        = flag.Int("P", 32, "number of PEs (= stripes = rocks)")
-		rocks    = flag.Int("rocks", 1, "number of strongly erodible rocks")
-		alpha    = flag.Float64("alpha", 0.4, "ULBA underloading fraction")
-		method   = flag.String("method", "ulba", "lb method: standard | ulba | none")
-		trigName = flag.String("trigger", "degradation", fmt.Sprintf("runtime trigger, one of %v", ulba.TriggerNames()))
-		period   = flag.Int("period", 10, "interval for -trigger periodic")
-		iters    = flag.Int("iters", 120, "iterations")
-		width    = flag.Int("stripewidth", 192, "columns per initial stripe")
-		height   = flag.Int("height", 400, "rows")
-		radius   = flag.Int("radius", 48, "rock disc radius (cells)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		zthr     = flag.Float64("z", 3.0, "overload z-score threshold")
-		compare  = flag.Bool("compare", false, "run standard AND the chosen method, report the gain")
-		rcb      = flag.Bool("rcb", false, "use recursive bisection (standard method only)")
-		csvPath  = flag.String("csv", "", "write per-iteration time/usage series to this CSV file")
-		plotW    = flag.Int("plotwidth", 100, "terminal width of the usage plots")
+		p            = flag.Int("P", 32, "number of PEs (= stripes = rocks)")
+		rocks        = flag.Int("rocks", 1, "number of strongly erodible rocks")
+		alpha        = flag.Float64("alpha", 0.4, "ULBA underloading fraction")
+		method       = flag.String("method", "ulba", "lb method: standard | ulba | none")
+		trigName     = flag.String("trigger", "degradation", fmt.Sprintf("runtime trigger, one of %v", ulba.TriggerNames()))
+		period       = flag.Int("period", 10, "interval for -trigger periodic")
+		wliThreshold = flag.Float64("wli-threshold", 0, "firing threshold for -trigger wli (0 keeps the default)")
+		iters        = flag.Int("iters", 120, "iterations")
+		width        = flag.Int("stripewidth", 192, "columns per initial stripe")
+		height       = flag.Int("height", 400, "rows")
+		radius       = flag.Int("radius", 48, "rock disc radius (cells)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		zthr         = flag.Float64("z", 3.0, "overload z-score threshold")
+		compare      = flag.Bool("compare", false, "run standard AND the chosen method, report the gain")
+		rcb          = flag.Bool("rcb", false, "use recursive bisection (standard method only)")
+		csvPath      = flag.String("csv", "", "write per-iteration time/usage series to this CSV file")
+		plotW        = flag.Int("plotwidth", 100, "terminal width of the usage plots")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -80,7 +81,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	trig = cli.ConfigureTrigger(trig, *period)
+	trig = cli.ConfigureTrigger(trig, *period, *wliThreshold)
 	runTrig := trig
 	if noLB {
 		runTrig = ulba.NeverTrigger{}

@@ -42,31 +42,32 @@ import (
 
 func main() {
 	var (
-		all         = flag.Bool("all", false, "run every experiment")
-		table1      = flag.Bool("table1", false, "print Table I")
-		table2      = flag.Bool("table2", false, "print Table II")
-		fig2        = flag.Bool("fig2", false, "run Fig. 2 (sigma+ vs annealing)")
-		fig3        = flag.Bool("fig3", false, "run Fig. 3 (gain vs overloading %)")
-		fig4a       = flag.Bool("fig4a", false, "run Fig. 4a (erosion performance grid)")
-		fig4b       = flag.Bool("fig4b", false, "run Fig. 4b (usage traces)")
-		fig5        = flag.Bool("fig5", false, "run Fig. 5 (alpha sweep)")
-		runtimeSec  = flag.Bool("runtime", false, "run the runtime scenario section (trigger vs workloads beyond erosion)")
-		workload    = flag.String("workload", "all", fmt.Sprintf("workload(s) for -runtime: comma-separated names or \"all\", from %v", ulba.WorkloadNames()))
-		runtimePEs  = flag.Int("runtime-pes", 8, "PE count for the runtime scenario section")
-		runtimeIter = flag.Int("runtime-iters", 150, "iterations for the runtime scenario section")
-		scaleName   = flag.String("scale", "default", "erosion experiment scale: bench | default | paper")
-		instances   = flag.Int("instances", 200, "instances for Fig. 2 / per bucket for Fig. 3 (paper: 1000)")
-		alphaGrid   = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
-		pes         = flag.String("pes", "16,32,64", "comma-separated PE counts for Fig. 4a/5 (paper: 32,64,128,256)")
-		fig4bPE     = flag.Int("fig4b-pes", 32, "PE count for Fig. 4b (paper: 32)")
-		alpha       = flag.Float64("alpha", 0.4, "ULBA alpha for Fig. 4 (paper: 0.4)")
-		plannerName = flag.String("planner", "sigma+", fmt.Sprintf("Fig. 3 schedule planner, one of %v", ulba.PlannerNames()))
-		trigName    = flag.String("trigger", "degradation", fmt.Sprintf("Fig. 4 runtime trigger, one of %v", ulba.TriggerNames()))
-		period      = flag.Int("period", 10, "interval for -planner/-trigger periodic")
-		annealSteps = flag.Int("annealsteps", 20000, "proposals for -planner anneal and Fig. 2")
-		seed        = flag.Uint64("seed", 2019, "seed for the synthetic experiments")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the synthetic experiments")
-		jsonOut     = flag.Bool("json", false, "print one JSON object per instance/cell on stdout (summaries go to stderr)")
+		all          = flag.Bool("all", false, "run every experiment")
+		table1       = flag.Bool("table1", false, "print Table I")
+		table2       = flag.Bool("table2", false, "print Table II")
+		fig2         = flag.Bool("fig2", false, "run Fig. 2 (sigma+ vs annealing)")
+		fig3         = flag.Bool("fig3", false, "run Fig. 3 (gain vs overloading %)")
+		fig4a        = flag.Bool("fig4a", false, "run Fig. 4a (erosion performance grid)")
+		fig4b        = flag.Bool("fig4b", false, "run Fig. 4b (usage traces)")
+		fig5         = flag.Bool("fig5", false, "run Fig. 5 (alpha sweep)")
+		runtimeSec   = flag.Bool("runtime", false, "run the runtime scenario section (trigger vs workloads beyond erosion)")
+		workload     = flag.String("workload", "all", fmt.Sprintf("workload(s) for -runtime: comma-separated names or \"all\", from %v", ulba.WorkloadNames()))
+		runtimePEs   = flag.Int("runtime-pes", 8, "PE count for the runtime scenario section")
+		runtimeIter  = flag.Int("runtime-iters", 150, "iterations for the runtime scenario section")
+		scaleName    = flag.String("scale", "default", "erosion experiment scale: bench | default | paper")
+		instances    = flag.Int("instances", 200, "instances for Fig. 2 / per bucket for Fig. 3 (paper: 1000)")
+		alphaGrid    = flag.Int("alphas", 100, "alpha grid size for Fig. 3")
+		pes          = flag.String("pes", "16,32,64", "comma-separated PE counts for Fig. 4a/5 (paper: 32,64,128,256)")
+		fig4bPE      = flag.Int("fig4b-pes", 32, "PE count for Fig. 4b (paper: 32)")
+		alpha        = flag.Float64("alpha", 0.4, "ULBA alpha for Fig. 4 (paper: 0.4)")
+		plannerName  = flag.String("planner", "sigma+", fmt.Sprintf("Fig. 3 schedule planner, one of %v", ulba.PlannerNames()))
+		trigName     = flag.String("trigger", "degradation", fmt.Sprintf("Fig. 4 runtime trigger, one of %v", ulba.TriggerNames()))
+		period       = flag.Int("period", 10, "interval for -planner/-trigger periodic")
+		wliThreshold = flag.Float64("wli-threshold", 0, "firing threshold for -trigger wli (0 keeps the default)")
+		annealSteps  = flag.Int("annealsteps", 20000, "proposals for -planner anneal and Fig. 2")
+		seed         = flag.Uint64("seed", 2019, "seed for the synthetic experiments")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the synthetic experiments")
+		jsonOut      = flag.Bool("json", false, "print one JSON object per instance/cell on stdout (summaries go to stderr)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -99,7 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		trig = cli.ConfigureTrigger(trig, *period)
+		trig = cli.ConfigureTrigger(trig, *period, *wliThreshold)
 		scale.TriggerFactory = trig.New
 		if cli.WarmupDisabled(trig) {
 			// No forced warmup call: the static baseline stays LB-free
@@ -239,7 +240,7 @@ func main() {
 				exp, err := ulba.NewRuntime(*runtimePEs,
 					ulba.WithWorkload(w),
 					ulba.WithIterations(*runtimeIter),
-					ulba.WithTrigger(cli.ConfigureTrigger(trig, *period)))
+					ulba.WithTrigger(cli.ConfigureTrigger(trig, *period, *wliThreshold)))
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(2)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +56,8 @@ func main() {
 		trigName     = flag.String("trigger", "degradation", fmt.Sprintf("runtime trigger, one of %v", ulba.TriggerNames()))
 		plannerName  = flag.String("planner", "", fmt.Sprintf("plan the LB schedule on the analytic model instead of reacting (one of %v); needs a modeled workload", ulba.PlannerNames()))
 		period       = flag.Int("period", 10, "interval for -trigger/-planner periodic")
+		wliThreshold = flag.Float64("wli-threshold", 0, "firing threshold for -trigger wli (0 keeps the default)")
+		speedsFlag   = flag.String("speeds", "", "comma-separated per-PE speed factors for a heterogeneous cluster, e.g. 1,1,2,4 (empty: homogeneous)")
 		annealSteps  = flag.Int("annealsteps", 20000, "proposals for -planner anneal")
 		seed         = flag.Uint64("seed", 2019, "workload seed (and scenario-sampling seed for -sweep)")
 		traceFile    = flag.String("trace-file", "", "CSV weight matrix for -workload trace (default: the built-in demo trace)")
@@ -95,6 +98,13 @@ func main() {
 		usageErr(err)
 	}
 	opts := []ulba.Option{ulba.WithWorkload(w), ulba.WithIterations(*iters)}
+	if *speedsFlag != "" {
+		speeds, err := parseSpeeds(*speedsFlag)
+		if err != nil {
+			usageErr(err)
+		}
+		opts = append(opts, ulba.WithSpeeds(speeds))
+	}
 	if *plannerName != "" {
 		planner, err := ulba.NewPlanner(*plannerName)
 		if err != nil {
@@ -106,7 +116,7 @@ func main() {
 		if err != nil {
 			usageErr(err)
 		}
-		opts = append(opts, ulba.WithTrigger(cli.ConfigureTrigger(trig, *period)))
+		opts = append(opts, ulba.WithTrigger(cli.ConfigureTrigger(trig, *period, *wliThreshold)))
 	}
 	exp, err := ulba.NewRuntime(*pes, opts...)
 	if err != nil {
@@ -128,7 +138,7 @@ func main() {
 			lb[it] = true
 		}
 		for i, t := range tl.IterTimes {
-			rec := map[string]any{"iter": i, "time": t, "usage": tl.Usage[i], "lb": lb[i]}
+			rec := map[string]any{"iter": i, "time": t, "usage": tl.Usage[i], "wli": tl.WLI[i], "lb": lb[i]}
 			if err := enc.Encode(rec); err != nil {
 				fatal("json:", err)
 			}
@@ -154,6 +164,7 @@ func main() {
 	tab.AddRow("LB calls", tl.LBCount())
 	tab.AddRow("avg LB cost [s]", tl.AvgLBCost)
 	tab.AddRow("mean PE usage", fmt.Sprintf("%.1f%%", tl.MeanUsage()*100))
+	tab.AddRow("mean WLI (max-avg)/avg", fmt.Sprintf("%.3f", tl.MeanWLI()))
 	tab.Render(os.Stdout)
 	fmt.Println()
 	fmt.Print(trace.UsagePlot(fmt.Sprintf("%s / %s", *workloadName, policy), tl.Usage, tl.LBIters, *width))
@@ -204,5 +215,21 @@ func runSweep(ctx context.Context, n int, seed uint64, workers int, jsonOut bool
 	tab.AddRow("median efficiency", fmt.Sprintf("%.1f%%", sum.Efficiencies.Median*100))
 	tab.AddRow("mean LB calls", sum.MeanLBCalls)
 	tab.AddRow("mean PE usage", fmt.Sprintf("%.1f%%", sum.MeanUsage*100))
+	tab.AddRow("mean WLI (max-avg)/avg", fmt.Sprintf("%.3f", sum.MeanWLI))
 	tab.Render(os.Stdout)
+}
+
+// parseSpeeds parses the -speeds flag: comma-separated positive floats, one
+// per PE.
+func parseSpeeds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	speeds := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-speeds entry %d: %v", i, err)
+		}
+		speeds[i] = v
+	}
+	return speeds, nil
 }

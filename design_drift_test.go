@@ -3,6 +3,7 @@ package ulba_test
 import (
 	"context"
 	"os"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -45,6 +46,76 @@ func TestDesignTablesMatchRegistries(t *testing.T) {
 		sort.Strings(docs)
 		if strings.Join(docs, ",") != strings.Join(registered, ",") {
 			t.Errorf("%s registry %v does not match the DESIGN.md table %v", kind, registered, docs)
+		}
+	}
+}
+
+// TestWorkloadTablePinsParameters parses the workload-registry table of
+// DESIGN.md — rows of the form | `TypeWorkload` | `name` | `F1, F2` | ... —
+// and checks the parameters column against the exported struct fields of
+// the registered implementation, in declaration order. A new workload knob
+// (or a renamed one) cannot land without its documentation row following.
+func TestWorkloadTablePinsParameters(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `([A-Za-z]+Workload)` +\\| `([a-z+]+)` +\\| `([^`]+)` ")
+	tabled := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			tabled[m[2]] = m[3]
+		}
+	}
+	for _, name := range ulba.WorkloadNames() {
+		params, ok := tabled[name]
+		if !ok {
+			t.Errorf("DESIGN.md workload table has no parameters row for %q", name)
+			continue
+		}
+		w, err := ulba.NewWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ := reflect.TypeOf(w)
+		var fields []string
+		for i := 0; i < typ.NumField(); i++ {
+			if f := typ.Field(i); f.IsExported() {
+				fields = append(fields, f.Name)
+			}
+		}
+		if want := strings.Join(fields, ", "); params != want {
+			t.Errorf("DESIGN.md parameters for %q are `%s`, struct %s has `%s`", name, params, typ.Name(), want)
+		}
+	}
+}
+
+// TestAPIRegistriesListingMatchesCode pins the GET /v1/registries example
+// response in API.md to the live registries: the documented vocabulary of
+// planner/trigger/workload names must be exactly what the server serves.
+func TestAPIRegistriesListingMatchesCode(t *testing.T) {
+	data, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile(`^\s*"(planners|triggers|workloads)": \[([^\]]*)\]`)
+	documented := map[string][]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := row.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range strings.Split(m[2], ",") {
+			documented[m[1]] = append(documented[m[1]], strings.Trim(strings.TrimSpace(q), `"`))
+		}
+	}
+	for kind, registered := range map[string][]string{
+		"planners":  ulba.PlannerNames(),
+		"triggers":  ulba.TriggerNames(),
+		"workloads": ulba.WorkloadNames(),
+	} {
+		if !reflect.DeepEqual(documented[kind], registered) {
+			t.Errorf("API.md registries example lists %s %v, registry has %v", kind, documented[kind], registered)
 		}
 	}
 }

@@ -31,14 +31,22 @@ func ConfigurePlanner(pl ulba.Planner, period, annealSteps int, seed uint64) ulb
 }
 
 // ConfigureTrigger applies the flag-level knobs to a registry-built trigger:
-// the interval for the periodic trigger. Other triggers pass through
-// unchanged.
-func ConfigureTrigger(t ulba.Trigger, period int) ulba.Trigger {
-	if pt, ok := t.(ulba.PeriodicTrigger); ok {
-		pt.Every = period
-		return pt
+// the interval for the periodic trigger, the firing threshold for the wli
+// trigger (non-positive keeps the registry default). Other triggers pass
+// through unchanged.
+func ConfigureTrigger(t ulba.Trigger, period int, wliThreshold float64) ulba.Trigger {
+	switch tr := t.(type) {
+	case ulba.PeriodicTrigger:
+		tr.Every = period
+		return tr
+	case ulba.WLITrigger:
+		if wliThreshold > 0 {
+			tr.Threshold = wliThreshold
+		}
+		return tr
+	default:
+		return t
 	}
-	return t
 }
 
 // RunFig3Sweep drives the Fig. 3 experiment through the public Sweep
@@ -106,6 +114,15 @@ func ConfigureWorkload(w ulba.Workload, seed uint64, traceFile string) (ulba.Wor
 		wl.Seed = seed
 		return wl, nil
 	case ulba.OutlierWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.MiniFEWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.AMRWorkload:
+		wl.Seed = seed
+		return wl, nil
+	case ulba.TargetImbalanceWorkload:
 		wl.Seed = seed
 		return wl, nil
 	case ulba.TraceWorkload:

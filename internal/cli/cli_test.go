@@ -24,12 +24,21 @@ func TestConfigurePlanner(t *testing.T) {
 }
 
 func TestConfigureTrigger(t *testing.T) {
-	tr := ConfigureTrigger(ulba.PeriodicTrigger{}, 5)
+	tr := ConfigureTrigger(ulba.PeriodicTrigger{}, 5, 0)
 	if got := tr.(ulba.PeriodicTrigger).Every; got != 5 {
 		t.Errorf("periodic Every = %d, want 5", got)
 	}
-	if tr = ConfigureTrigger(ulba.NeverTrigger{}, 5); tr.Name() != "never" {
+	if tr = ConfigureTrigger(ulba.NeverTrigger{}, 5, 0.4); tr.Name() != "never" {
 		t.Errorf("never trigger not passed through: %v", tr.Name())
+	}
+	tr = ConfigureTrigger(ulba.WLITrigger{Threshold: 0.25}, 5, 0.4)
+	if got := tr.(ulba.WLITrigger).Threshold; got != 0.4 {
+		t.Errorf("wli Threshold = %g, want 0.4", got)
+	}
+	// A non-positive flag value keeps the registry default.
+	tr = ConfigureTrigger(ulba.WLITrigger{Threshold: 0.25}, 5, 0)
+	if got := tr.(ulba.WLITrigger).Threshold; got != 0.25 {
+		t.Errorf("wli Threshold = %g, want the 0.25 default", got)
 	}
 }
 

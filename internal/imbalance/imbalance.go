@@ -1,0 +1,233 @@
+// Package imbalance provides the imbalance-shaping primitives behind the
+// exemplar-derived workloads of the public package: 3D box decompositions
+// with uneven per-block row counts (miniFE's make_local_matrix /
+// imbalance.hpp), refinement-level load weighting and the weighted load
+// imbalance metric (GAMER's LB_EstimateLoadImbalance), and random work
+// partitions that hit an exact target imbalance (cluster-dlb-benchmarks'
+// syntheticslow generator). Everything is deterministic: the same arguments
+// always produce the same partition, so scenario runs stay reproducible.
+package imbalance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ulba/internal/stats"
+)
+
+// BoxFactors factors p into three box-decomposition dimensions px*py*pz = p
+// that are as close to cubic as possible: the prime factors of p, largest
+// first, each multiplied into the currently smallest dimension — the greedy
+// rule miniFE-style domain decompositions use. The result is deterministic
+// and ordered px >= py >= pz.
+func BoxFactors(p int) (px, py, pz int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("imbalance: box decomposition needs a positive PE count, got %d", p))
+	}
+	dims := [3]int{1, 1, 1}
+	for _, f := range primeFactorsDesc(p) {
+		// Multiply into the smallest dimension.
+		min := 0
+		for i := 1; i < 3; i++ {
+			if dims[i] < dims[min] {
+				min = i
+			}
+		}
+		dims[min] *= f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dims[:])))
+	return dims[0], dims[1], dims[2]
+}
+
+// primeFactorsDesc returns the prime factorization of n in descending order.
+func primeFactorsDesc(n int) []int {
+	var fs []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(fs)))
+	return fs
+}
+
+// splitWidths divides n cells into k contiguous parts as evenly as integer
+// arithmetic allows: the first n%k parts get ceil(n/k) cells, the rest get
+// floor(n/k). This is the uneven split that makes miniFE's rows-per-proc
+// report interesting whenever k does not divide n.
+func splitWidths(n, k int) []int {
+	w := make([]int, k)
+	q, r := n/k, n%k
+	for i := range w {
+		w[i] = q
+		if i < r {
+			w[i]++
+		}
+	}
+	return w
+}
+
+// BoxRows returns the per-block row (cell) counts of the box decomposition
+// of an nx*ny*nz grid over px*py*pz blocks, flattened x-major: block
+// (ix, iy, iz) sits at index (ix*py+iy)*pz+iz and owns wx[ix]*wy[iy]*wz[iz]
+// cells. The counts always sum to exactly nx*ny*nz (conservation), and they
+// differ — the miniFE skew — whenever a dimension is not evenly divisible.
+func BoxRows(nx, ny, nz, px, py, pz int) []int {
+	if nx < px || ny < py || nz < pz || px <= 0 || py <= 0 || pz <= 0 {
+		panic(fmt.Sprintf("imbalance: box %dx%dx%d cannot split over %dx%dx%d blocks",
+			nx, ny, nz, px, py, pz))
+	}
+	wx, wy, wz := splitWidths(nx, px), splitWidths(ny, py), splitWidths(nz, pz)
+	rows := make([]int, 0, px*py*pz)
+	for ix := 0; ix < px; ix++ {
+		for iy := 0; iy < py; iy++ {
+			for iz := 0; iz < pz; iz++ {
+				rows = append(rows, wx[ix]*wy[iy]*wz[iz])
+			}
+		}
+	}
+	return rows
+}
+
+// WLI is the brute-force weighted load imbalance of GAMER's
+// LB_EstimateLoadImbalance: (max - avg) / avg over the per-rank loads.
+// Zero is perfect balance; 1.0 means the busiest rank carries twice the
+// average, i.e. half the machine's time is spent waiting. It is the
+// reference definition the runtime engines' incremental computation is
+// differentially tested against.
+func WLI(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	sum, max := 0.0, 0.0
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	avg := sum / float64(len(loads))
+	if avg == 0 {
+		return 0
+	}
+	return (max - avg) / avg
+}
+
+// LevelWeight returns the relative update weight of a refinement level in
+// an AMR hierarchy: 2^level, because each deeper level halves the time step
+// and therefore updates twice as often (GAMER's NUpdateLv weighting).
+func LevelWeight(level int) float64 {
+	if level < 0 || level > 62 {
+		panic(fmt.Sprintf("imbalance: refinement level %d out of [0, 62]", level))
+	}
+	return float64(uint64(1) << uint(level))
+}
+
+// FrontLevel returns the refinement level of a patch at position pos in
+// [0, 1) when the refinement front is centered at center (same unit circle):
+// levels-1 at the center, dropping one level per 1/(2*levels) of circular
+// distance, down to 0 on the far side. It is the spatial level assignment
+// behind the AMR workload — a moving front concentrates deep (expensive)
+// patches on few PE blocks.
+func FrontLevel(pos, center float64, levels int) int {
+	if levels <= 0 {
+		panic(fmt.Sprintf("imbalance: FrontLevel needs at least one level, got %d", levels))
+	}
+	d := math.Abs(pos - center)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	l := levels - 1 - int(math.Floor(d*2*float64(levels)))
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// TargetPartition distributes p*mean total work over p ranks such that the
+// imbalance max/avg is exactly target, following cluster-dlb-benchmarks'
+// syntheticslow generator: the last rank always gets the worst share
+// worst = mean*target, and the remaining work spreads randomly below worst.
+// Following the exemplar, whichever of the rest and the slack is smaller is
+// drawn as sorted uniform cuts (redrawing while any piece exceeds worst),
+// which keeps redraws rare at both imbalance extremes. target must lie in
+// [1, p] — max/avg cannot exceed the rank count — and mean must be positive.
+func TargetPartition(p int, mean, target float64, seed uint64) ([]float64, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("imbalance: target partition needs a positive rank count, got %d", p)
+	}
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("imbalance: target partition mean = %g must be positive and finite", mean)
+	}
+	if math.IsNaN(target) || target < 1 || target > float64(p) {
+		return nil, fmt.Errorf("imbalance: target imbalance %g not reachable on %d ranks (must be in [1, %d])",
+			target, p, p)
+	}
+	worst := mean * target
+	out := make([]float64, p)
+	out[p-1] = worst
+	if p == 1 {
+		return out, nil
+	}
+	// restWork is what the other p-1 ranks must sum to for the average to
+	// come out right; slackWork is their headroom below a full worst share.
+	restWork := worst*(float64(p)/target) - worst
+	slackWork := worst*float64(p-1) - restWork
+	rng := stats.NewRNG(seed ^ 0x74677462616c) // "tgtbal"
+	pieces := out[:p-1]
+	if restWork < slackWork {
+		genPieces(rng, pieces, restWork, worst)
+	} else {
+		// Near-even targets: drawing the (small) slack and subtracting
+		// it from a full share makes oversized pieces unlikely.
+		genPieces(rng, pieces, slackWork, worst)
+		for i := range pieces {
+			pieces[i] = worst - pieces[i]
+		}
+	}
+	return out, nil
+}
+
+// genPieces fills out with len(out) non-negative values summing to total,
+// none exceeding max: sorted uniform cuts on [0, total], redrawn while any
+// piece is too large (the exemplar's gen()). The required feasibility
+// total <= len(out)*max holds for both TargetPartition call sites; after a
+// bounded number of redraws it falls back to the even split, which is always
+// feasible, so the function stays deterministic and total.
+func genPieces(rng *stats.RNG, out []float64, total, max float64) {
+	m := len(out)
+	if total <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	cuts := make([]float64, m+1)
+	for attempt := 0; attempt < 1000; attempt++ {
+		cuts[0] = 0
+		cuts[m] = total
+		for i := 1; i < m; i++ {
+			cuts[i] = rng.Float64() * total
+		}
+		sort.Float64s(cuts)
+		ok := true
+		for i := 0; i < m; i++ {
+			out[i] = cuts[i+1] - cuts[i]
+			if out[i] > max {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	for i := range out {
+		out[i] = total / float64(m)
+	}
+}

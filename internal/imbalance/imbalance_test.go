@@ -1,0 +1,204 @@
+package imbalance
+
+import (
+	"math"
+	"testing"
+)
+
+func relClose(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestBoxFactorsMultiplyBack(t *testing.T) {
+	for p := 1; p <= 256; p++ {
+		px, py, pz := BoxFactors(p)
+		if px*py*pz != p {
+			t.Fatalf("BoxFactors(%d) = %dx%dx%d, product %d", p, px, py, pz, px*py*pz)
+		}
+		if px < py || py < pz || pz < 1 {
+			t.Fatalf("BoxFactors(%d) = %dx%dx%d not ordered descending", p, px, py, pz)
+		}
+	}
+	// Spot-check near-cubic shapes.
+	if px, py, pz := BoxFactors(8); px != 2 || py != 2 || pz != 2 {
+		t.Fatalf("BoxFactors(8) = %dx%dx%d, want 2x2x2", px, py, pz)
+	}
+	if px, py, pz := BoxFactors(12); px != 3 || py != 2 || pz != 2 {
+		t.Fatalf("BoxFactors(12) = %dx%dx%d, want 3x2x2", px, py, pz)
+	}
+}
+
+func TestBoxRowsConserveCells(t *testing.T) {
+	cases := []struct{ nx, ny, nz, px, py, pz int }{
+		{61, 61, 61, 2, 2, 2},
+		{61, 59, 47, 4, 2, 2},
+		{100, 100, 100, 5, 2, 1},
+		{7, 5, 3, 7, 5, 3},
+		{64, 64, 64, 4, 4, 4}, // evenly divisible: all blocks equal
+	}
+	for _, c := range cases {
+		rows := BoxRows(c.nx, c.ny, c.nz, c.px, c.py, c.pz)
+		if len(rows) != c.px*c.py*c.pz {
+			t.Fatalf("BoxRows(%+v): %d blocks, want %d", c, len(rows), c.px*c.py*c.pz)
+		}
+		sum := 0
+		for _, r := range rows {
+			if r <= 0 {
+				t.Fatalf("BoxRows(%+v): non-positive block %d", c, r)
+			}
+			sum += r
+		}
+		if want := c.nx * c.ny * c.nz; sum != want {
+			t.Fatalf("BoxRows(%+v): cells sum to %d, want %d (conservation)", c, sum, want)
+		}
+	}
+	// The uneven split must actually skew: 61^3 over 2x2x2 gives 31/30
+	// widths, so min and max block differ.
+	rows := BoxRows(61, 61, 61, 2, 2, 2)
+	min, max := rows[0], rows[0]
+	for _, r := range rows {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if min == max {
+		t.Fatalf("BoxRows(61^3, 2x2x2): all blocks equal (%d), want skew", min)
+	}
+}
+
+func TestWLIReferenceValues(t *testing.T) {
+	cases := []struct {
+		loads []float64
+		want  float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 0},
+		{[]float64{1, 1, 1, 1}, 0},
+		{[]float64{2, 1, 1}, 0.5},  // avg 4/3, (2-4/3)/(4/3)
+		{[]float64{0, 0, 0, 4}, 3}, // one rank owns everything
+		{[]float64{0, 0, 0, 0}, 0}, // empty machine
+	}
+	for _, c := range cases {
+		if got := WLI(c.loads); !relClose(got, c.want, 1e-12) {
+			t.Fatalf("WLI(%v) = %g, want %g", c.loads, got, c.want)
+		}
+	}
+}
+
+func TestLevelWeightDoubles(t *testing.T) {
+	for l := 0; l < 10; l++ {
+		if got := LevelWeight(l); got != math.Pow(2, float64(l)) {
+			t.Fatalf("LevelWeight(%d) = %g", l, got)
+		}
+	}
+}
+
+func TestFrontLevelShape(t *testing.T) {
+	const levels = 4
+	if got := FrontLevel(0.5, 0.5, levels); got != levels-1 {
+		t.Fatalf("level at the center = %d, want %d", got, levels-1)
+	}
+	if got := FrontLevel(0.0, 0.5, levels); got != 0 {
+		t.Fatalf("level at the far side = %d, want 0", got)
+	}
+	// Circular distance: positions 0.1 and 0.9 are equidistant from 0.
+	if a, b := FrontLevel(0.1, 0, levels), FrontLevel(0.9, 0, levels); a != b {
+		t.Fatalf("circular symmetry broken: %d vs %d", a, b)
+	}
+	for pos := 0.0; pos < 1; pos += 0.01 {
+		if l := FrontLevel(pos, 0.3, levels); l < 0 || l >= levels {
+			t.Fatalf("FrontLevel(%g) = %d out of [0, %d)", pos, l, levels)
+		}
+	}
+}
+
+// checkTargetPartition verifies the two properties of the exemplar
+// generator: total work is conserved and the max/avg imbalance equals the
+// requested target, both within float tolerance.
+func checkTargetPartition(t *testing.T, p int, mean, target float64, seed uint64) {
+	t.Helper()
+	parts, err := TargetPartition(p, mean, target, seed)
+	if err != nil {
+		t.Fatalf("TargetPartition(p=%d, target=%g, seed=%d): %v", p, target, seed, err)
+	}
+	if len(parts) != p {
+		t.Fatalf("got %d parts, want %d", len(parts), p)
+	}
+	sum, max := 0.0, 0.0
+	for i, w := range parts {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("part %d = %g invalid (p=%d, target=%g, seed=%d)", i, w, p, target, seed)
+		}
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if want := float64(p) * mean; !relClose(sum, want, 1e-9) {
+		t.Fatalf("work not conserved: sum %g, want %g (p=%d, target=%g, seed=%d)", sum, want, p, target, seed)
+	}
+	if got := max / (sum / float64(p)); !relClose(got, target, 1e-9) {
+		t.Fatalf("imbalance %g, want exactly %g (p=%d, seed=%d)", got, target, p, seed)
+	}
+}
+
+func TestTargetPartitionHitsTargetExactly(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 32, 63} {
+		targets := []float64{1, 1.01, 1.25, 1.5, 2, float64(p)/2 + 0.5, float64(p)}
+		for _, target := range targets {
+			if target < 1 || target > float64(p) {
+				continue
+			}
+			for seed := uint64(0); seed < 16; seed++ {
+				checkTargetPartition(t, p, 3.5, target, seed)
+			}
+		}
+	}
+}
+
+func TestTargetPartitionRejectsImpossible(t *testing.T) {
+	cases := []struct {
+		p      int
+		mean   float64
+		target float64
+	}{
+		{0, 1, 1},
+		{-2, 1, 1},
+		{4, 0, 1.5},
+		{4, -1, 1.5},
+		{4, math.NaN(), 1.5},
+		{4, 1, 0.5},
+		{4, 1, 4.001},
+		{4, 1, math.NaN()},
+		{1, 1, 1.5}, // one rank can only be perfectly balanced
+	}
+	for _, c := range cases {
+		if _, err := TargetPartition(c.p, c.mean, c.target, 1); err == nil {
+			t.Fatalf("TargetPartition(%d, %g, %g) accepted, want error", c.p, c.mean, c.target)
+		}
+	}
+}
+
+// FuzzTargetPartition fuzzes world sizes, targets, and seeds; every
+// generated partition must conserve work and hit its target imbalance.
+func FuzzTargetPartition(f *testing.F) {
+	f.Add(uint8(4), 0.5, uint64(1))
+	f.Add(uint8(1), 0.0, uint64(0))
+	f.Add(uint8(16), 0.01, uint64(42))
+	f.Add(uint8(32), 0.99, uint64(7))
+	f.Add(uint8(63), 0.33, uint64(123456789))
+	f.Fuzz(func(t *testing.T, p8 uint8, frac float64, seed uint64) {
+		p := 1 + int(p8)%64
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			t.Skip()
+		}
+		// Map frac into [0, 1], then target into the feasible [1, p].
+		frac = math.Abs(frac)
+		frac -= math.Floor(frac)
+		target := 1 + frac*float64(p-1)
+		checkTargetPartition(t, p, 2.25, target, seed)
+	})
+}

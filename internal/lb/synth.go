@@ -29,6 +29,15 @@ type SynthConfig struct {
 
 	Cost mpisim.CostModel
 
+	// Speeds optionally makes the cluster heterogeneous: PE r computes at
+	// Cost.FLOPS*Speeds[r] FLOP/s, and LB steps cut speed-proportional
+	// stripe targets instead of even ones — on a heterogeneous cluster the
+	// optimum partition is deliberately non-uniform (Lastovetsky &
+	// Szustak). Nil selects the homogeneous cluster; non-nil must have
+	// length P with positive finite entries. A vector of all 1s is
+	// bit-identical to nil.
+	Speeds []float64
+
 	// FlopPerUnit is the compute charged per weight unit per iteration.
 	// The default (0 value) is 1e6 FLOP, which at the default cost model
 	// makes one unit of weight cost one millisecond.
@@ -119,6 +128,16 @@ func (c SynthConfig) Validate() error {
 	if c.WarmupLB >= c.Iterations {
 		return fmt.Errorf("lb: synth WarmupLB = %d beyond the run of %d iterations", c.WarmupLB, c.Iterations)
 	}
+	if c.Speeds != nil {
+		if len(c.Speeds) != c.P {
+			return fmt.Errorf("lb: synth Speeds has %d entries for %d PEs", len(c.Speeds), c.P)
+		}
+		for r, s := range c.Speeds {
+			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return fmt.Errorf("lb: synth Speeds[%d] = %g must be positive and finite", r, s)
+			}
+		}
+	}
 	if c.Table != nil && (c.Table.Items != c.Items || c.Table.Iterations < c.Iterations) {
 		return fmt.Errorf("lb: synth weight table is %dx%d, scenario needs %dx%d",
 			c.Table.Items, c.Table.Iterations, c.Items, c.Iterations)
@@ -131,6 +150,7 @@ type SynthResult struct {
 	TotalTime   float64   // final wall time (max virtual clock), seconds
 	IterTimes   []float64 // shared per-iteration wall time (excluding LB steps)
 	Usage       []float64 // average PE usage per iteration, in [0,1]
+	WLI         []float64 // per-iteration weighted load imbalance (max-avg)/avg
 	LBIters     []int     // iterations at which the balancer ran
 	LBCosts     []float64 // measured cost of each LB step, seconds
 	AvgLBCost   float64   // mean of LBCosts (0 if none)
@@ -144,13 +164,90 @@ func (r SynthResult) LBCount() int { return len(r.LBIters) }
 // MeanUsage returns the run-average PE usage.
 func (r SynthResult) MeanUsage() float64 { return stats.Mean(r.Usage) }
 
+// MeanWLI returns the run-average weighted load imbalance.
+func (r SynthResult) MeanWLI() float64 { return stats.Mean(r.WLI) }
+
+// denom returns the FLOP-per-second rate of rank r: the reference FLOPS
+// scaled by the rank's speed. With nil Speeds it is exactly Cost.FLOPS, so
+// homogeneous configs keep their historical bit patterns (x*1.0 == x would
+// too, but the branch makes the contract explicit).
+func (c SynthConfig) denom(r int) float64 {
+	if c.Speeds == nil {
+		return c.Cost.FLOPS
+	}
+	return c.Cost.FLOPS * c.Speeds[r]
+}
+
+// synthRankSeconds fills dts[r] with rank r's compute seconds at iteration i
+// under bounds: the weight sum over the owned range in ascending item order,
+// times FlopPerUnit, divided by the rank's FLOP/s rate — exactly the
+// expression the engines charge in the compute phase, so the out-of-band
+// recomputation reproduces the measured times bit for bit. Any rank can run
+// it for all ranks because the weight function is pure.
+func (c SynthConfig) synthRankSeconds(dts []float64, bounds []int, i int) {
+	row := c.tableRow(i)
+	for r := range dts {
+		flop := 0.0
+		if row != nil {
+			for _, w := range row[bounds[r]:bounds[r+1]] {
+				flop += w
+			}
+		} else {
+			for j := bounds[r]; j < bounds[r+1]; j++ {
+				flop += c.Weight(j, i)
+			}
+		}
+		flop *= c.FlopPerUnit
+		dts[r] = flop / c.denom(r)
+	}
+}
+
+// synthTargets returns the stripe targets of one LB step: even shares on the
+// homogeneous cluster, speed-proportional shares on a heterogeneous one —
+// equalizing compute time rather than work.
+func (c SynthConfig) synthTargets(wtot float64) []float64 {
+	if c.Speeds == nil {
+		return partition.EvenTargets(wtot, c.P)
+	}
+	return partition.ProportionalTargets(wtot, c.Speeds)
+}
+
+// wliOf returns the weighted load imbalance (max-avg)/avg of the per-rank
+// compute seconds — GAMER's WLI: 0 is perfect balance, 1.0 means the
+// slowest rank takes twice the average. The sum folds in ascending rank
+// order so both engines produce the same bits.
+func wliOf(dts []float64) float64 {
+	sum, max := 0.0, 0.0
+	for _, dt := range dts {
+		sum += dt
+		if dt > max {
+			max = dt
+		}
+	}
+	avg := sum / float64(len(dts))
+	if avg == 0 {
+		return 0
+	}
+	return (max - avg) / avg
+}
+
 // PerfectTime returns the perfect-knowledge lower bound on the scenario's
-// total time: every iteration's total workload spread perfectly evenly over
-// the PEs, with free balancing and free communication. No policy — reactive
-// or anticipating — can beat it, which makes it the natural denominator for
-// scenario efficiency.
+// total time: every iteration's total workload spread perfectly over the
+// PEs — evenly on a homogeneous cluster, speed-proportionally on a
+// heterogeneous one — with free balancing and free communication. No policy,
+// reactive or anticipating, can beat it, which makes it the natural
+// denominator for scenario efficiency.
 func PerfectTime(cfg SynthConfig) float64 {
 	cfg = cfg.Normalized()
+	// The machine's aggregate FLOP/s. The homogeneous expression is kept
+	// verbatim so existing results stay bit-identical.
+	rate := float64(cfg.P) * cfg.Cost.FLOPS
+	if cfg.Speeds != nil {
+		rate = 0
+		for r := range cfg.Speeds {
+			rate += cfg.denom(r)
+		}
+	}
 	total := 0.0
 	for i := 0; i < cfg.Iterations; i++ {
 		sum := 0.0
@@ -163,7 +260,7 @@ func PerfectTime(cfg SynthConfig) float64 {
 				sum += cfg.Weight(j, i)
 			}
 		}
-		total += sum * cfg.FlopPerUnit / (float64(cfg.P) * cfg.Cost.FLOPS)
+		total += sum * cfg.FlopPerUnit / rate
 	}
 	return total
 }
@@ -199,17 +296,20 @@ func RunSynthSim(cfg SynthConfig) (SynthResult, error) {
 		return SynthResult{}, err
 	}
 	p := cfg.P
-	flops := cfg.Cost.FLOPS
 
 	// Out-of-band metric stores; each rank writes disjoint slots.
 	iterTimes := make([]float64, cfg.Iterations)
 	computeShare := make([]float64, cfg.Iterations) // filled by rank 0 from allreduce
+	wliTrace := make([]float64, cfg.Iterations)     // filled by rank 0, out-of-band
 	var lbIters []int
 	var lbCosts []float64
 	var finalBounds []int
 
 	clocks, allStats, err := mpisim.RunCollect(p, cfg.Cost, func(proc *mpisim.Proc) error {
 		rank := proc.Rank()
+		if cfg.Speeds != nil {
+			proc.SetSpeed(cfg.Speeds[rank])
+		}
 
 		// Initial partition: an even split by item count, the analogue
 		// of one stripe per PE. Free of charge: the data starts in
@@ -225,6 +325,8 @@ func RunSynthSim(cfg SynthConfig) (SynthResult, error) {
 		} else {
 			trig = NewDegradation()
 		}
+		imbObs, observesWLI := trig.(ImbalanceObserver)
+		dts := make([]float64, p) // scratch for the out-of-band WLI recomputation
 
 		var lbCostAvg stats.Running
 		prevMax := 0.0
@@ -242,15 +344,29 @@ func RunSynthSim(cfg SynthConfig) (SynthResult, error) {
 			// Collective bookkeeping: the compute share for the
 			// usage trace, and the shared iteration clock. The
 			// max-allreduce doubles as the BSP iteration barrier.
-			computeSum := proc.AllreduceSum(flop / flops)
+			computeSum := proc.AllreduceSum(flop / cfg.denom(rank))
 			maxClock := proc.AllreduceMax(proc.Clock())
 			iterTime := maxClock - prevMax
 			prevMax = maxClock
 			trig.Observe(iterTime)
 
+			// The weighted load imbalance of this iteration,
+			// recomputed out-of-band from the pure weight function:
+			// any rank knows every rank's load at zero simulated
+			// cost, so no extra collective perturbs the timeline.
+			var wli float64
+			if rank == 0 || observesWLI {
+				cfg.synthRankSeconds(dts, bounds, i)
+				wli = wliOf(dts)
+			}
+			if observesWLI {
+				imbObs.ObserveImbalance(wli)
+			}
+
 			if rank == 0 {
 				iterTimes[i] = iterTime
 				computeShare[i] = computeSum
+				wliTrace[i] = wli
 			}
 
 			// LB decision: identical on every rank because all the
@@ -288,6 +404,7 @@ func RunSynthSim(cfg SynthConfig) (SynthResult, error) {
 
 	res := SynthResult{
 		IterTimes:   iterTimes,
+		WLI:         wliTrace,
 		LBIters:     lbIters,
 		LBCosts:     lbCosts,
 		FinalBounds: finalBounds,
@@ -315,14 +432,14 @@ func RunSynthSim(cfg SynthConfig) (SynthResult, error) {
 
 // rebalanceSynth runs one centralized LB step of the synthetic runner:
 // every PE sends its per-item weights at iteration i to the main PE, which
-// cuts new even-target stripes over the full weight array and broadcasts
+// cuts new stripes to the targets (even, or speed-proportional on a
+// heterogeneous cluster) over the full weight array and broadcasts
 // them; then item state migrates point-to-point along the deterministic
 // transfer plan and every PE rebuilds its local structures. The weights are
 // globally recomputable (pure function), but the runner still pays the
 // communication and compute of the centralized technique — that cost is the
 // C the triggers trade off against.
 func rebalanceSynth(proc *mpisim.Proc, oldBounds []int, iter int, cfg SynthConfig) []int {
-	p := proc.Size()
 	rank := proc.Rank()
 
 	// Gather [lo, weights...] on the main PE.
@@ -341,7 +458,7 @@ func rebalanceSynth(proc *mpisim.Proc, oldBounds []int, iter int, cfg SynthConfi
 			lo := int(vals[0])
 			copy(itemW[lo:lo+len(vals)-1], vals[1:])
 		}
-		targets := partition.EvenTargets(stats.Sum(itemW), p)
+		targets := cfg.synthTargets(stats.Sum(itemW))
 		newBounds := partition.Stripes(itemW, targets)
 		newBounds = partition.EnsureMinCols(newBounds, 1)
 		// The centralized partitioning technique runs on the main PE

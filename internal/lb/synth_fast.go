@@ -66,8 +66,8 @@ func (c SynthConfig) tableRow(i int) []float64 {
 type synthFast struct {
 	cfg      SynthConfig
 	p        int
-	lat, bt  float64 // cost model: Latency, ByteTime
-	flops    float64
+	lat, bt  float64   // cost model: Latency, ByteTime
+	denom    []float64 // per-rank FLOP/s rate (FLOPS, speed-scaled)
 	clock    []float64
 	computeT []float64
 	vals     []float64 // per-rank input to the current allreduce
@@ -80,7 +80,7 @@ type synthFast struct {
 
 // compute mirrors Proc.Compute on rank r.
 func (f *synthFast) compute(r int, flop float64) {
-	dt := flop / f.flops
+	dt := flop / f.denom[r]
 	f.clock[r] += dt
 	f.computeT[r] += dt
 }
@@ -149,26 +149,16 @@ func (f *synthFast) bcastClocks(bytes float64) {
 	}
 }
 
-// weightRow fills f.vals with each rank's compute flop at iteration i and
-// charges the compute phase, returning nothing; per-rank sums run over the
-// owned range in ascending item order exactly like the rank bodies do.
+// computePhase fills f.vals with each rank's compute seconds at iteration i
+// (via synthRankSeconds, the same expression the rank bodies charge) and
+// advances the clocks through the compute phase. After it returns, f.vals
+// holds the per-rank dts — the allreduce input and the WLI source.
 func (f *synthFast) computePhase(i int) {
-	cfg := &f.cfg
-	row := cfg.tableRow(i)
+	f.cfg.synthRankSeconds(f.vals, f.bounds, i)
 	for r := 0; r < f.p; r++ {
-		flop := 0.0
-		if row != nil {
-			for _, w := range row[f.bounds[r]:f.bounds[r+1]] {
-				flop += w
-			}
-		} else {
-			for j := f.bounds[r]; j < f.bounds[r+1]; j++ {
-				flop += cfg.Weight(j, i)
-			}
-		}
-		flop *= cfg.FlopPerUnit
-		f.compute(r, flop)
-		f.vals[r] = flop / f.flops
+		dt := f.vals[r]
+		f.clock[r] += dt
+		f.computeT[r] += dt
 	}
 }
 
@@ -205,7 +195,7 @@ func (f *synthFast) rebalance(iter int) {
 			f.itemW[j] = cfg.Weight(j, iter)
 		}
 	}
-	targets := partition.EvenTargets(stats.Sum(f.itemW), size)
+	targets := cfg.synthTargets(stats.Sum(f.itemW))
 	newBounds := partition.Stripes(f.itemW, targets)
 	newBounds = partition.EnsureMinCols(newBounds, 1)
 	f.compute(0, cfg.PartitionFlopPerItem*float64(cfg.Items))
@@ -250,7 +240,7 @@ func runSynthFast(cfg SynthConfig) (SynthResult, error) {
 		p:        p,
 		lat:      cfg.Cost.Latency,
 		bt:       cfg.Cost.ByteTime,
-		flops:    cfg.Cost.FLOPS,
+		denom:    make([]float64, p),
 		clock:    make([]float64, p),
 		computeT: make([]float64, p),
 		vals:     make([]float64, p),
@@ -258,6 +248,9 @@ func runSynthFast(cfg SynthConfig) (SynthResult, error) {
 		avail:    make([]float64, p),
 		itemW:    make([]float64, cfg.Items),
 		bounds:   make([]int, p+1),
+	}
+	for r := 0; r < p; r++ {
+		f.denom[r] = cfg.denom(r)
 	}
 	for i := range f.bounds {
 		f.bounds[i] = i * cfg.Items / p
@@ -269,9 +262,11 @@ func runSynthFast(cfg SynthConfig) (SynthResult, error) {
 	} else {
 		trig = NewDegradation()
 	}
+	imbObs, observesWLI := trig.(ImbalanceObserver)
 
 	iterTimes := make([]float64, cfg.Iterations)
 	computeShare := make([]float64, cfg.Iterations)
+	wliTrace := make([]float64, cfg.Iterations)
 	var lbIters []int
 	var lbCosts []float64
 	var lbCostAvg stats.Running
@@ -279,6 +274,10 @@ func runSynthFast(cfg SynthConfig) (SynthResult, error) {
 
 	for i := 0; i < cfg.Iterations; i++ {
 		f.computePhase(i)
+		// f.vals holds the per-rank compute seconds until the clocks
+		// overwrite it for the max-allreduce below; the WLI reads it
+		// here, out-of-band, exactly like the rank bodies recompute it.
+		wli := wliOf(f.vals)
 		computeSum := f.allreduce(true)
 		for r := 0; r < p; r++ {
 			f.vals[r] = f.clock[r]
@@ -287,8 +286,12 @@ func runSynthFast(cfg SynthConfig) (SynthResult, error) {
 		iterTime := maxClock - prevMax
 		prevMax = maxClock
 		trig.Observe(iterTime)
+		if observesWLI {
+			imbObs.ObserveImbalance(wli)
+		}
 		iterTimes[i] = iterTime
 		computeShare[i] = computeSum
+		wliTrace[i] = wli
 
 		threshold := math.Inf(1)
 		if lbCostAvg.N() > 0 {
@@ -314,6 +317,7 @@ func runSynthFast(cfg SynthConfig) (SynthResult, error) {
 
 	res := SynthResult{
 		IterTimes:   iterTimes,
+		WLI:         wliTrace,
 		LBIters:     lbIters,
 		LBCosts:     lbCosts,
 		FinalBounds: f.bounds,

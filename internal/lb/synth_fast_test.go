@@ -2,9 +2,12 @@ package lb
 
 import (
 	"fmt"
+	"math"
 	"reflect"
+	"sync"
 	"testing"
 
+	"ulba/internal/imbalance"
 	"ulba/internal/stats"
 )
 
@@ -127,35 +130,119 @@ func TestPerfectTimeUsesTableBitIdentically(t *testing.T) {
 }
 
 // FuzzSynthFastMatchesSim drives both engines over fuzzer-chosen scenario
-// shapes and weight dynamics and requires bit-identical results.
+// shapes, weight dynamics (including the exemplar workload families:
+// drifting rates, miniFE-style stationary block skew, AMR-style moving
+// refinement fronts, and exact-target-imbalance block draws), trigger
+// policies, and heterogeneous speed vectors — and requires bit-identical
+// results.
 func FuzzSynthFastMatchesSim(f *testing.F) {
-	f.Add(uint64(1), uint8(4), uint8(3), uint8(30), false)
-	f.Add(uint64(7), uint8(1), uint8(1), uint8(10), true)
-	f.Add(uint64(42), uint8(9), uint8(5), uint8(50), false)
-	f.Fuzz(func(t *testing.T, seed uint64, p8, perPE8, iters8 uint8, table bool) {
+	f.Add(uint64(1), uint8(4), uint8(3), uint8(30), false, false, uint8(0), uint8(0))
+	f.Add(uint64(7), uint8(1), uint8(1), uint8(10), true, false, uint8(0), uint8(0))
+	f.Add(uint64(42), uint8(9), uint8(5), uint8(50), false, false, uint8(0), uint8(0))
+	f.Add(uint64(3), uint8(5), uint8(4), uint8(40), false, true, uint8(1), uint8(1))
+	f.Add(uint64(11), uint8(7), uint8(6), uint8(35), true, true, uint8(2), uint8(4))
+	f.Add(uint64(19), uint8(3), uint8(2), uint8(25), false, true, uint8(3), uint8(2))
+	f.Add(uint64(23), uint8(6), uint8(7), uint8(45), true, false, uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, p8, perPE8, iters8 uint8, table, het bool, shape, trig uint8) {
 		p := 1 + int(p8)%12
 		items := p * (1 + int(perPE8)%8)
 		iters := 2 + int(iters8)%60
 		rng := stats.NewRNG(seed)
-		// A per-item growth-rate vector makes load drift apart so the
-		// trigger actually fires; values are frozen up front so Weight is
-		// pure.
-		rates := make([]float64, items)
-		for j := range rates {
-			rates[j] = rng.Float64() * 0.2
-		}
 		cfg := SynthConfig{
 			P:          p,
 			Items:      items,
 			Iterations: iters,
-			Weight: func(item, iter int) float64 {
-				return 1 + rates[item]*float64(iter)
-			},
-			Cost: synthCfg(p, items, iters).Cost,
+			Weight:     fuzzWeight(int(shape)%4, rng, p, items),
+			Cost:       synthCfg(p, items, iters).Cost,
+		}
+		switch int(trig) % 4 {
+		case 1:
+			cfg.TriggerFactory = func() Trigger { return Never{} }
+		case 2:
+			k := 2 + int(seed%9)
+			cfg.TriggerFactory = func() Trigger { return &Periodic{K: k} }
+		case 3:
+			th := 0.05 + rng.Float64()*0.5
+			cfg.TriggerFactory = func() Trigger { return &WLIThreshold{Threshold: th} }
+		}
+		if het {
+			speeds := make([]float64, p)
+			for r := range speeds {
+				speeds[r] = 0.25 + rng.Float64()*4
+			}
+			cfg.Speeds = speeds
 		}
 		if table {
 			cfg.Table = BuildWeightTable(items, iters, cfg.Weight)
 		}
 		mustMatchSim(t, cfg)
 	})
+}
+
+// fuzzWeight builds a pure weight function in one of the exemplar workload
+// families. Every random draw is frozen up front so the function stays
+// pure, as the Workload contract requires.
+func fuzzWeight(shape int, rng *stats.RNG, p, items int) func(int, int) float64 {
+	switch shape {
+	case 1: // miniFE-style stationary per-block skew
+		blockW := make([]float64, p)
+		for b := range blockW {
+			blockW[b] = 0.5 + rng.Float64()*2
+		}
+		perPE := items / p
+		return func(item, _ int) float64 {
+			return blockW[(item/perPE)%p]
+		}
+	case 2: // AMR-style moving refinement front
+		levels := 1 + int(rng.Float64()*6)
+		center0 := rng.Float64()
+		drift := rng.Float64() * 0.02
+		return func(item, iter int) float64 {
+			pos := (float64(item) + 0.5) / float64(items)
+			center := center0 + drift*float64(iter)
+			center -= math.Floor(center)
+			return imbalance.LevelWeight(imbalance.FrontLevel(pos, center, levels))
+		}
+	case 3: // exact-target-imbalance block draw, redrawn every period
+		target := 1 + rng.Float64()*(float64(p)-1)*0.99
+		seed := rng.Uint64()
+		period := 4 + int(rng.Float64()*16)
+		perPE := items / p
+		var cache targetFuzzCache
+		return func(item, iter int) float64 {
+			return cache.weights(iter/period, p, target, seed)[(item/perPE)%p]
+		}
+	default: // drifting per-item growth rates
+		rates := make([]float64, items)
+		for j := range rates {
+			rates[j] = rng.Float64() * 0.2
+		}
+		return func(item, iter int) float64 {
+			return 1 + rates[item]*float64(iter)
+		}
+	}
+}
+
+// targetFuzzCache memoizes per-draw TargetPartition block weights so the
+// fuzz weight function is pure and cheap under both engines.
+type targetFuzzCache struct {
+	mu    sync.Mutex
+	draws map[int][]float64
+}
+
+func (c *targetFuzzCache) weights(draw, p int, target float64, seed uint64) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.draws[draw]; ok {
+		return w
+	}
+	if c.draws == nil {
+		c.draws = make(map[int][]float64)
+	}
+	w, err := imbalance.TargetPartition(p, 1, target, stats.Mix64(seed^uint64(draw)*0x9e3779b97f4a7c15))
+	if err != nil {
+		panic(err)
+	}
+	c.draws[draw] = w
+	return w
 }

@@ -1,0 +1,251 @@
+package lb
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"ulba/internal/imbalance"
+	"ulba/internal/mpisim"
+)
+
+// This file covers the heterogeneous-cluster axis (SynthConfig.Speeds) and
+// the out-of-band WLI channel: the two engines must stay bit-identical
+// under any speed vector, an all-ones vector must be indistinguishable from
+// the homogeneous nil, LB steps must cut speed-proportional (non-uniform)
+// partitions, and the incremental WLI trace must agree with the brute-force
+// reference definition.
+
+func speedsCfg(p, items, iters int, speeds []float64) SynthConfig {
+	cfg := synthCfg(p, items, iters)
+	cfg.Speeds = speeds
+	return cfg
+}
+
+func TestSynthFastMatchesSimHeterogeneous(t *testing.T) {
+	speedSets := map[string][]float64{
+		"two-tier":   nil, // filled per P below
+		"increasing": nil,
+	}
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		speedSets["two-tier"] = make([]float64, p)
+		speedSets["increasing"] = make([]float64, p)
+		for r := 0; r < p; r++ {
+			speedSets["two-tier"][r] = 1
+			if r >= p/2 {
+				speedSets["two-tier"][r] = 2.5
+			}
+			speedSets["increasing"][r] = 1 + 0.5*float64(r)
+		}
+		for name, speeds := range speedSets {
+			t.Run(fmt.Sprintf("P=%d/%s", p, name), func(t *testing.T) {
+				cfg := speedsCfg(p, 16*p+3, 40, speeds)
+				mustMatchSim(t, cfg)
+			})
+		}
+	}
+}
+
+func TestSynthFastMatchesSimHeterogeneousAcrossTriggers(t *testing.T) {
+	factories := map[string]func() Trigger{
+		"degradation": nil, // default
+		"never":       func() Trigger { return Never{} },
+		"periodic":    func() Trigger { return &Periodic{K: 7} },
+		"menon":       func() Trigger { return NewMenonTau() },
+		"wli":         func() Trigger { return &WLIThreshold{Threshold: 0.1} },
+	}
+	speeds := []float64{1, 4, 1, 2, 0.5, 1}
+	for name, factory := range factories {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			cfg := speedsCfg(6, 96, 60, speeds)
+			cfg.TriggerFactory = factory
+			mustMatchSim(t, cfg)
+
+			// And the weight table must not change a single bit.
+			withTable := cfg
+			withTable.Table = BuildWeightTable(cfg.Items, cfg.Iterations, cfg.Weight)
+			mustMatchSim(t, withTable)
+		})
+	}
+}
+
+// An all-ones speed vector selects the same code path lengths as nil and
+// must produce the exact result bits of the homogeneous cluster.
+func TestSynthSpeedsAllOnesMatchesNil(t *testing.T) {
+	cfg := synthCfg(5, 80, 50)
+	hom, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Speeds = []float64{1, 1, 1, 1, 1}
+	het, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hom, het) {
+		t.Fatalf("all-ones speeds changed the result:\nnil:  %+v\nones: %+v", hom, het)
+	}
+	if pt := PerfectTime(cfg); pt != PerfectTime(synthCfg(5, 80, 50)) {
+		t.Fatal("all-ones speeds changed PerfectTime")
+	}
+}
+
+func TestSynthValidateRejectsBadSpeeds(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		speeds []float64
+	}{
+		{"wrong length", []float64{1, 1}},
+		{"zero speed", []float64{1, 0, 1, 1}},
+		{"negative speed", []float64{1, -2, 1, 1}},
+		{"NaN speed", []float64{1, math.NaN(), 1, 1}},
+		{"infinite speed", []float64{1, math.Inf(1), 1, 1}},
+	} {
+		cfg := speedsCfg(4, 64, 50, tc.speeds).Normalized()
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validation accepted speeds %v", tc.name, tc.speeds)
+		}
+	}
+}
+
+// On a heterogeneous cluster a LB step must cut a deliberately non-uniform
+// partition: with uniform item weights, a rank running s times faster than
+// the others ends up owning about s times their item count (Lastovetsky &
+// Szustak's non-uniform optimum).
+func TestSynthSpeedsCutNonUniformPartition(t *testing.T) {
+	const p, items = 4, 400
+	cfg := SynthConfig{
+		P:          p,
+		Items:      items,
+		Iterations: 10,
+		Weight:     func(int, int) float64 { return 1 },
+		Cost:       mpisim.DefaultCostModel(),
+		Speeds:     []float64{1, 1, 1, 5},
+	}
+	res, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, p)
+	for r := 0; r < p; r++ {
+		counts[r] = res.FinalBounds[r+1] - res.FinalBounds[r]
+	}
+	// Speed-proportional targets: 400 * [1,1,1,5]/8 = [50, 50, 50, 250].
+	for r := 0; r < 3; r++ {
+		if counts[r] < 45 || counts[r] > 55 {
+			t.Fatalf("slow rank %d owns %d items, want about 50 (bounds %v)", r, counts[r], res.FinalBounds)
+		}
+	}
+	if counts[3] < 240 {
+		t.Fatalf("fast rank owns %d items, want about 250 (bounds %v)", counts[3], res.FinalBounds)
+	}
+
+	// The homogeneous cluster keeps the even split — the non-uniform cut
+	// is the speed vector's doing, not the partitioner's.
+	cfg.Speeds = nil
+	hom, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if n := hom.FinalBounds[r+1] - hom.FinalBounds[r]; n != items/p {
+			t.Fatalf("homogeneous rank %d owns %d items, want %d", r, n, items/p)
+		}
+	}
+}
+
+// PerfectTime on a heterogeneous cluster spreads each iteration's total
+// work over the aggregate speed-scaled rate.
+func TestPerfectTimeWithSpeeds(t *testing.T) {
+	cfg := speedsCfg(4, 64, 30, []float64{1, 2, 3, 4}).Normalized()
+	rate := 0.0
+	for r := 0; r < cfg.P; r++ {
+		rate += cfg.Cost.FLOPS * cfg.Speeds[r]
+	}
+	want := 0.0
+	for i := 0; i < cfg.Iterations; i++ {
+		sum := 0.0
+		for j := 0; j < cfg.Items; j++ {
+			sum += cfg.Weight(j, i)
+		}
+		want += sum * cfg.FlopPerUnit / rate
+	}
+	if got := PerfectTime(cfg); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("PerfectTime = %v, want %v", got, want)
+	}
+	// A faster cluster has a strictly lower bound than the homogeneous one.
+	hom := cfg
+	hom.Speeds = nil
+	if got, homT := PerfectTime(cfg), PerfectTime(hom); got >= homT {
+		t.Fatalf("heterogeneous bound %v not below homogeneous %v", got, homT)
+	}
+}
+
+// The WLI trace recorded by the engines must equal the brute-force
+// reference definition (internal/imbalance.WLI over the per-rank compute
+// seconds) on every iteration. The never trigger keeps the bounds at the
+// initial even split, so the reference loads are computable independently.
+func TestWLITraceMatchesBruteForce(t *testing.T) {
+	for _, speeds := range [][]float64{nil, {1, 3, 1, 0.5, 2}} {
+		cfg := speedsCfg(5, 85, 40, speeds).Normalized()
+		cfg.TriggerFactory = func() Trigger { return Never{} }
+		cfg.WarmupLB = -1
+		res, err := RunSynth(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds := make([]int, cfg.P+1)
+		for r := range bounds {
+			bounds[r] = r * cfg.Items / cfg.P
+		}
+		loads := make([]float64, cfg.P)
+		for i := 0; i < cfg.Iterations; i++ {
+			for r := 0; r < cfg.P; r++ {
+				sum := 0.0
+				for j := bounds[r]; j < bounds[r+1]; j++ {
+					sum += cfg.Weight(j, i)
+				}
+				denom := cfg.Cost.FLOPS
+				if speeds != nil {
+					denom *= speeds[r]
+				}
+				loads[r] = sum * cfg.FlopPerUnit / denom
+			}
+			want := imbalance.WLI(loads)
+			if got := res.WLI[i]; math.Abs(got-want) > 1e-12*(1+want) {
+				t.Fatalf("speeds %v iter %d: WLI %v, want brute-force %v", speeds, i, got, want)
+			}
+		}
+		if res.MeanWLI() <= 0 {
+			t.Fatalf("speeds %v: ramp workload has zero mean WLI", speeds)
+		}
+	}
+}
+
+// The WLI threshold trigger must actually fire on a skewed load and stay
+// silent on a balanced one, end to end through the engine.
+func TestWLIThresholdFiresOnSkew(t *testing.T) {
+	cfg := synthCfg(4, 64, 40).Normalized() // ramp: first quarter grows
+	cfg.TriggerFactory = func() Trigger { return &WLIThreshold{Threshold: 0.5} }
+	cfg.WarmupLB = -1
+	res, err := RunSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LBIters) == 0 {
+		t.Fatal("growing skew never crossed the WLI threshold")
+	}
+
+	flat := cfg
+	flat.Weight = func(int, int) float64 { return 1 }
+	flat.Table = nil
+	balanced, err := RunSynth(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(balanced.LBIters) != 0 {
+		t.Fatalf("balanced load fired the WLI trigger at %v", balanced.LBIters)
+	}
+}

@@ -26,6 +26,40 @@ type Trigger interface {
 	Reset()
 }
 
+// ImbalanceObserver is implemented by triggers that consume the measured
+// weighted load imbalance in addition to iteration wall times. The synthetic
+// runner computes WLI = (max-avg)/avg over the per-rank compute seconds
+// out-of-band from the pure weight function (every rank can recompute every
+// other rank's load at zero simulated cost) and feeds it right after
+// Observe, once per iteration.
+type ImbalanceObserver interface {
+	ObserveImbalance(wli float64)
+}
+
+// WLIThreshold fires when the observed weighted load imbalance exceeds a
+// fixed tolerance — the GAMER-style policy: redistribute whenever the
+// weighted load imbalance (max-avg)/avg of the per-rank loads crosses a
+// configured threshold. Unlike the cost-adaptive rules it ignores the
+// LB-cost threshold argument entirely: the tolerance already encodes the
+// trade-off, as it does in GAMER's LB_EstimateLoadImbalance.
+type WLIThreshold struct {
+	Threshold float64 // fire when WLI exceeds this; must be positive
+	last      float64
+}
+
+// Observe ignores iteration wall times; the trigger reacts to WLI only.
+func (t *WLIThreshold) Observe(float64) {}
+
+// ObserveImbalance records the iteration's weighted load imbalance.
+func (t *WLIThreshold) ObserveImbalance(wli float64) { t.last = wli }
+
+// ShouldFire reports whether the last observed WLI exceeds the tolerance.
+// The LB-cost threshold argument is ignored.
+func (t *WLIThreshold) ShouldFire(float64) bool { return t.last > t.Threshold }
+
+// Reset clears the observation after a LB step.
+func (t *WLIThreshold) Reset() { t.last = 0 }
+
 // Never is the static baseline: no LB during execution.
 type Never struct{}
 

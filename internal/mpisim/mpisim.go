@@ -13,9 +13,12 @@
 // host machine and the Go scheduler.
 //
 // The model is intentionally simple — a fixed per-message latency, a fixed
-// per-byte cost, and homogeneous PE speed — because the paper's conclusions
-// depend on the relative cost of imbalance versus balancing, not on network
-// topology details.
+// per-byte cost, and a single reference PE speed — because the paper's
+// conclusions depend on the relative cost of imbalance versus balancing, not
+// on network topology details. Heterogeneous clusters (Lastovetsky &
+// Szustak's regime, where a deliberately non-uniform partition is the
+// optimum) are expressed per rank: SetSpeed scales one rank's compute rate
+// relative to the reference FLOPS without touching the network model.
 //
 // Worlds are reusable: mailbox maps, queue slices, and per-rank Procs
 // survive across runs, and AcquireWorld/Release pool them by (size, cost)
@@ -40,8 +43,9 @@ type CostModel struct {
 	Latency float64
 	// ByteTime is the transfer time per byte in seconds (1/bandwidth).
 	ByteTime float64
-	// FLOPS is the speed of every PE in FLOP per second (the paper's
-	// omega; homogeneous by assumption).
+	// FLOPS is the reference PE speed in FLOP per second (the paper's
+	// omega). Every rank runs at FLOPS unless the program scales it with
+	// Proc.SetSpeed.
 	FLOPS float64
 }
 
@@ -190,6 +194,7 @@ func NewWorld(size int, cost CostModel) *World {
 		w.boxes[i] = newMailbox()
 		w.procs[i].world = w
 		w.procs[i].rank = i
+		w.procs[i].speed = 1
 	}
 	return w
 }
@@ -254,6 +259,7 @@ type Proc struct {
 	world *World
 	rank  int
 	clock float64
+	speed float64 // relative compute speed multiplier; 1 = reference FLOPS
 	stats Stats
 	bufs  [][]byte   // freelist of wire buffers (AcquireBuf/ReleaseBuf)
 	f64   []float64  // scratch for collective partial results
@@ -261,9 +267,11 @@ type Proc struct {
 }
 
 // reset prepares the Proc for a fresh run, keeping its buffer freelist and
-// scratch capacity.
+// scratch capacity. The speed returns to the homogeneous default so pooled
+// worlds cannot leak one program's heterogeneity into the next run.
 func (p *Proc) reset() {
 	p.clock = 0
+	p.speed = 1
 	p.stats = Stats{}
 }
 
@@ -305,13 +313,29 @@ func (p *Proc) ReleaseBuf(b []byte) {
 	p.bufs = append(p.bufs, b)
 }
 
-// Compute advances the clock by flops/FLOPS seconds of pure computation.
-// Negative amounts are a programming error.
+// SetSpeed fixes this rank's relative compute speed: subsequent Compute
+// calls advance the clock by flops/(FLOPS*speed) seconds. The default is 1
+// (homogeneous cluster), and multiplying by exactly 1.0 is a bitwise no-op,
+// so homogeneous programs are unaffected. Programs modeling heterogeneous
+// clusters call it once at the start of the rank body. Speeds must be
+// positive and finite.
+func (p *Proc) SetSpeed(speed float64) {
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		panic(fmt.Sprintf("mpisim: rank %d setting invalid speed %g", p.rank, speed))
+	}
+	p.speed = speed
+}
+
+// Speed returns this rank's relative compute speed multiplier.
+func (p *Proc) Speed() float64 { return p.speed }
+
+// Compute advances the clock by flops/(FLOPS*speed) seconds of pure
+// computation. Negative amounts are a programming error.
 func (p *Proc) Compute(flops float64) {
 	if flops < 0 || math.IsNaN(flops) {
 		panic(fmt.Sprintf("mpisim: rank %d computing invalid FLOP amount %g", p.rank, flops))
 	}
-	dt := flops / p.world.cost.FLOPS
+	dt := flops / (p.world.cost.FLOPS * p.speed)
 	p.clock += dt
 	p.stats.ComputeTime += dt
 }

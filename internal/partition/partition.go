@@ -74,6 +74,26 @@ func EvenTargets(wtot float64, p int) []float64 {
 	return out
 }
 
+// ProportionalTargets returns per-PE targets proportional to the given
+// positive speeds: target_i = wtot * speeds_i / sum(speeds). On a
+// heterogeneous cluster this is the optimum the even split misses — a PE
+// twice as fast should own twice the work (Lastovetsky & Szustak), so the
+// deliberately non-uniform partition equalizes compute *time*, not work.
+func ProportionalTargets(wtot float64, speeds []float64) []float64 {
+	total := 0.0
+	for i, s := range speeds {
+		if s <= 0 {
+			panic(fmt.Sprintf("partition: non-positive speed %g at %d", s, i))
+		}
+		total += s
+	}
+	out := make([]float64, len(speeds))
+	for i, s := range speeds {
+		out[i] = wtot * s / total
+	}
+	return out
+}
+
 // Stripes cuts the columns into len(targets) contiguous stripes whose
 // weights track the targets. Boundaries has length P+1 with Boundaries[0]=0
 // and Boundaries[P]=len(colWeights); stripe p owns columns

@@ -240,13 +240,20 @@ type runtimeRequest struct {
 	Trigger    *ulba.TriggerSpec  `json:"trigger,omitempty"`
 	Planner    *ulba.PlannerSpec  `json:"planner,omitempty"`
 	Model      *modelSpec         `json:"model,omitempty"`
-	Workers    int                `json:"workers,omitempty"`
+	// Speeds makes the simulated cluster heterogeneous: PE r computes at
+	// speeds[r] times the reference rate (ulba.WithSpeeds). Length must
+	// equal p; omitted means homogeneous.
+	Speeds  []float64 `json:"speeds,omitempty"`
+	Workers int       `json:"workers,omitempty"`
 }
 
 func (r runtimeRequest) build() (*ulba.RuntimeExperiment, error) {
 	opts := []ulba.Option{ulba.WithWorkers(r.Workers)}
 	if r.Iterations != 0 {
 		opts = append(opts, ulba.WithIterations(r.Iterations))
+	}
+	if len(r.Speeds) > 0 {
+		opts = append(opts, ulba.WithSpeeds(r.Speeds))
 	}
 	if r.Workload != nil {
 		w, err := r.Workload.Workload()

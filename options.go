@@ -15,6 +15,7 @@ type settings struct {
 	workers   int
 	alphaGrid int
 	workload  Workload
+	speeds    []float64
 }
 
 type optionScope int
@@ -233,6 +234,24 @@ func WithWorkload(w Workload) Option {
 			return fmt.Errorf("ulba: WithWorkload(nil)")
 		}
 		s.workload = w
+		return nil
+	})
+}
+
+// WithSpeeds makes the simulated cluster heterogeneous: PE r computes at
+// speeds[r] times the reference rate of the cost model, so a rank with speed
+// 2 finishes the same work in half the time (communication is unaffected).
+// The slice length must equal the PE count. Load-balancing steps cut
+// speed-proportional partitions — on a heterogeneous cluster the optimal
+// work distribution is deliberately non-uniform (Lastovetsky & Szustak,
+// "Model-based optimization of EULAG kernel on Intel Xeon Phi"). Nil keeps
+// the homogeneous cluster, bit-identical to an all-ones vector.
+func WithSpeeds(speeds []float64) Option {
+	return runtimeOption("WithSpeeds", func(s *settings) error {
+		if len(speeds) == 0 {
+			return fmt.Errorf("ulba: WithSpeeds needs at least one speed")
+		}
+		s.speeds = append([]float64(nil), speeds...)
 		return nil
 	})
 }

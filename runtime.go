@@ -54,6 +54,9 @@ func NewRuntime(p int, opts ...Option) (*RuntimeExperiment, error) {
 		cost = DefaultCostModel()
 	}
 
+	if s.speeds != nil && len(s.speeds) != p {
+		return nil, fmt.Errorf("ulba: WithSpeeds got %d speeds for %d PEs", len(s.speeds), p)
+	}
 	items, weight, err := s.workload.Instantiate(p)
 	if err != nil {
 		return nil, err
@@ -69,6 +72,7 @@ func NewRuntime(p int, opts ...Option) (*RuntimeExperiment, error) {
 			Iterations: iterations,
 			Weight:     weight,
 			Cost:       cost,
+			Speeds:     s.speeds,
 		},
 	}
 	e.cfg = e.cfg.Normalized()
@@ -101,6 +105,9 @@ func NewRuntime(p int, opts ...Option) (*RuntimeExperiment, error) {
 	case s.trigger != nil:
 		if pt, ok := s.trigger.(PeriodicTrigger); ok && pt.Every <= 0 {
 			return nil, fmt.Errorf("ulba: periodic trigger needs Every > 0, got %d", pt.Every)
+		}
+		if wt, ok := s.trigger.(WLITrigger); ok && !(wt.Threshold > 0) {
+			return nil, fmt.Errorf("ulba: wli trigger needs Threshold > 0, got %g", wt.Threshold)
 		}
 		e.cfg.TriggerFactory = s.trigger.New
 		if dropsWarmup(s.trigger) {
@@ -302,6 +309,7 @@ type RuntimeSweepSummary struct {
 	Efficiencies FiveNum // distribution of perfect/measured ratios
 	MeanLBCalls  float64 // mean LB invocations per scenario
 	MeanUsage    float64 // mean of per-scenario mean PE usage
+	MeanWLI      float64 // mean of per-scenario mean weighted load imbalance
 }
 
 // Stream runs the scenarios over the worker pool and sends one
@@ -371,16 +379,18 @@ func summarizeRuntimeSweep(results []RuntimeResult) RuntimeSweepSummary {
 	}
 	gains := make([]float64, len(results))
 	effs := make([]float64, len(results))
-	var calls, usage float64
+	var calls, usage, wli float64
 	for i, r := range results {
 		gains[i] = r.Gain()
 		effs[i] = r.Efficiency()
 		calls += float64(r.Timeline.LBCount())
 		usage += r.Timeline.MeanUsage()
+		wli += r.Timeline.MeanWLI()
 	}
 	sum.Gains = stats.Summarize(gains)
 	sum.Efficiencies = stats.Summarize(effs)
 	sum.MeanLBCalls = calls / float64(len(results))
 	sum.MeanUsage = usage / float64(len(results))
+	sum.MeanWLI = wli / float64(len(results))
 	return sum
 }

@@ -24,7 +24,7 @@ func ExampleWorkloadNames() {
 	}
 	fmt.Printf("%s: %d items on 8 PEs\n", w.Name(), items)
 	// Output:
-	// [bursty exponential linear outlier stationary trace]
+	// [amr bursty exponential linear minife outlier stationary target trace]
 	// bursty: 512 items on 8 PEs
 }
 

@@ -74,6 +74,9 @@ type TriggerSpec struct {
 	// Every overrides the interval of the periodic trigger. Setting it
 	// on any other trigger is an error.
 	Every int `json:"every,omitempty"`
+	// Threshold overrides the firing threshold of the wli trigger. Setting
+	// it on any other trigger is an error.
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // Trigger resolves the spec against the trigger registry and applies its
@@ -84,6 +87,9 @@ func (sp TriggerSpec) Trigger() (Trigger, error) {
 		return nil, err
 	}
 	if pt, ok := t.(PeriodicTrigger); ok {
+		if sp.Threshold != 0 {
+			return nil, fmt.Errorf("ulba: trigger %q takes no threshold knob", sp.Name)
+		}
 		if sp.Every > 0 {
 			pt.Every = sp.Every
 		} else if sp.Every < 0 {
@@ -91,8 +97,22 @@ func (sp TriggerSpec) Trigger() (Trigger, error) {
 		}
 		return pt, nil
 	}
+	if wt, ok := t.(WLITrigger); ok {
+		if sp.Every != 0 {
+			return nil, fmt.Errorf("ulba: trigger %q takes no every knob", sp.Name)
+		}
+		if sp.Threshold > 0 {
+			wt.Threshold = sp.Threshold
+		} else if sp.Threshold != 0 {
+			return nil, fmt.Errorf("ulba: trigger %q needs threshold > 0, got %g", sp.Name, sp.Threshold)
+		}
+		return wt, nil
+	}
 	if sp.Every != 0 {
 		return nil, fmt.Errorf("ulba: trigger %q takes no every knob", sp.Name)
+	}
+	if sp.Threshold != 0 {
+		return nil, fmt.Errorf("ulba: trigger %q takes no threshold knob", sp.Name)
 	}
 	return t, nil
 }
@@ -111,6 +131,15 @@ type WorkloadSpec struct {
 	// equivalent of LoadTraceWorkload. It is rejected on any other
 	// workload.
 	Rows [][]float64 `json:"rows,omitempty"`
+	// Target overrides the target workload's exact imbalance max/avg.
+	// Setting it on any other workload is an error.
+	Target float64 `json:"target,omitempty"`
+	// Levels overrides the amr workload's refinement depth. Setting it on
+	// any other workload is an error.
+	Levels int `json:"levels,omitempty"`
+	// Grid overrides the minife workload's global grid as [nx, ny, nz].
+	// Setting it on any other workload is an error.
+	Grid []int `json:"grid,omitempty"`
 }
 
 // Workload resolves the spec against the workload registry and applies its
@@ -119,6 +148,24 @@ func (sp WorkloadSpec) Workload() (Workload, error) {
 	w, err := NewWorkload(sp.Name)
 	if err != nil {
 		return nil, err
+	}
+	if sp.Target != 0 {
+		if _, ok := w.(TargetImbalanceWorkload); !ok {
+			return nil, fmt.Errorf("ulba: workload %q takes no target knob; only the target workload dials in an imbalance", sp.Name)
+		}
+	}
+	if sp.Levels != 0 {
+		if _, ok := w.(AMRWorkload); !ok {
+			return nil, fmt.Errorf("ulba: workload %q takes no levels knob; only the amr workload refines", sp.Name)
+		}
+	}
+	if len(sp.Grid) > 0 {
+		if _, ok := w.(MiniFEWorkload); !ok {
+			return nil, fmt.Errorf("ulba: workload %q takes no grid knob; only the minife workload decomposes a grid", sp.Name)
+		}
+		if len(sp.Grid) != 3 {
+			return nil, fmt.Errorf("ulba: minife grid knob needs [nx, ny, nz], got %d entries", len(sp.Grid))
+		}
 	}
 	if len(sp.Rows) > 0 {
 		if _, ok := w.(TraceWorkload); !ok {
@@ -144,6 +191,20 @@ func (sp WorkloadSpec) Workload() (Workload, error) {
 		return wl, nil
 	case OutlierWorkload:
 		wl.Seed = sp.Seed
+		return wl, nil
+	case MiniFEWorkload:
+		wl.Seed = sp.Seed
+		if len(sp.Grid) == 3 {
+			wl.Nx, wl.Ny, wl.Nz = sp.Grid[0], sp.Grid[1], sp.Grid[2]
+		}
+		return wl, nil
+	case AMRWorkload:
+		wl.Seed = sp.Seed
+		wl.Levels = sp.Levels
+		return wl, nil
+	case TargetImbalanceWorkload:
+		wl.Seed = sp.Seed
+		wl.Target = sp.Target
 		return wl, nil
 	case TraceWorkload:
 		if sp.Seed != 0 {

@@ -1,11 +1,56 @@
 package ulba_test
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
 	"ulba"
 )
+
+// TestUnknownNamesListRegistrySorted pins the error contract for unknown
+// policy names: the message must carry the full registered-name list in
+// sorted order, so a typo at any entry point (spec, CLI flag, HTTP
+// request) comes back with the valid vocabulary attached.
+func TestUnknownNamesListRegistrySorted(t *testing.T) {
+	cases := []struct {
+		kind    string
+		names   []string
+		resolve func(name string) error
+	}{
+		{"workload", ulba.WorkloadNames(), func(n string) error {
+			_, err := ulba.WorkloadSpec{Name: n}.Workload()
+			return err
+		}},
+		{"trigger", ulba.TriggerNames(), func(n string) error {
+			_, err := ulba.TriggerSpec{Name: n}.Trigger()
+			return err
+		}},
+		{"planner", ulba.PlannerNames(), func(n string) error {
+			_, err := ulba.PlannerSpec{Name: n}.Planner()
+			return err
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.kind, func(t *testing.T) {
+			if !sort.StringsAreSorted(c.names) {
+				t.Fatalf("%s registry listing not sorted: %v", c.kind, c.names)
+			}
+			for _, bogus := range []string{"nope", "", "Linear", "wli "} {
+				err := c.resolve(bogus)
+				if err == nil {
+					t.Fatalf("%s name %q resolved", c.kind, bogus)
+				}
+				want := fmt.Sprintf("unknown %s %q (registered: %v)", c.kind, bogus, c.names)
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("%s %q: error %q does not carry the sorted registry %q",
+						c.kind, bogus, err.Error(), want)
+				}
+			}
+		})
+	}
+}
 
 func TestPlannerSpec(t *testing.T) {
 	cases := []struct {
@@ -56,9 +101,14 @@ func TestTriggerSpec(t *testing.T) {
 		{"degradation", ulba.TriggerSpec{Name: "degradation"}, ulba.DegradationTrigger{}, ""},
 		{"periodic every", ulba.TriggerSpec{Name: "periodic", Every: 4}, ulba.PeriodicTrigger{Every: 4}, ""},
 		{"never", ulba.TriggerSpec{Name: "never"}, ulba.NeverTrigger{}, ""},
+		{"wli default", ulba.TriggerSpec{Name: "wli"}, ulba.WLITrigger{Threshold: 0.25}, ""},
+		{"wli threshold", ulba.TriggerSpec{Name: "wli", Threshold: 0.4}, ulba.WLITrigger{Threshold: 0.4}, ""},
 		{"unknown name", ulba.TriggerSpec{Name: "nope"}, nil, "unknown trigger"},
 		{"every on menon", ulba.TriggerSpec{Name: "menon", Every: 4}, nil, "no every knob"},
 		{"negative every", ulba.TriggerSpec{Name: "periodic", Every: -2}, nil, "every > 0"},
+		{"threshold on periodic", ulba.TriggerSpec{Name: "periodic", Every: 4, Threshold: 0.2}, nil, "no threshold knob"},
+		{"every on wli", ulba.TriggerSpec{Name: "wli", Every: 4}, nil, "no every knob"},
+		{"negative threshold", ulba.TriggerSpec{Name: "wli", Threshold: -0.5}, nil, "threshold > 0"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -100,6 +150,29 @@ func TestWorkloadSpec(t *testing.T) {
 			}
 		}
 	})
+	t.Run("exemplar knobs", func(t *testing.T) {
+		w, err := ulba.WorkloadSpec{Name: "target", Seed: 5, Target: 2.5}.Workload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.(ulba.TargetImbalanceWorkload); got.Target != 2.5 || got.Seed != 5 {
+			t.Errorf("target knobs not applied: %+v", got)
+		}
+		w, err = ulba.WorkloadSpec{Name: "amr", Levels: 7}.Workload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.(ulba.AMRWorkload); got.Levels != 7 {
+			t.Errorf("levels knob not applied: %+v", got)
+		}
+		w, err = ulba.WorkloadSpec{Name: "minife", Grid: []int{20, 30, 40}}.Workload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.(ulba.MiniFEWorkload); got.Nx != 20 || got.Ny != 30 || got.Nz != 40 {
+			t.Errorf("grid knob not applied: %+v", got)
+		}
+	})
 	t.Run("inline trace rows", func(t *testing.T) {
 		w, err := ulba.WorkloadSpec{Name: "trace", Rows: [][]float64{{1, 2}, {3, 4}}}.Workload()
 		if err != nil {
@@ -123,6 +196,11 @@ func TestWorkloadSpec(t *testing.T) {
 			{"rows on generator", ulba.WorkloadSpec{Name: "linear", Rows: [][]float64{{1}}}, "takes no rows"},
 			{"seed on trace", ulba.WorkloadSpec{Name: "trace", Seed: 1}, "no seed knob"},
 			{"seed and rows on trace", ulba.WorkloadSpec{Name: "trace", Seed: 1, Rows: [][]float64{{1}}}, "no seed knob"},
+			{"target on generator", ulba.WorkloadSpec{Name: "linear", Target: 1.5}, "no target knob"},
+			{"levels on generator", ulba.WorkloadSpec{Name: "linear", Levels: 3}, "no levels knob"},
+			{"grid on generator", ulba.WorkloadSpec{Name: "linear", Grid: []int{1, 2, 3}}, "no grid knob"},
+			{"grid wrong arity", ulba.WorkloadSpec{Name: "minife", Grid: []int{10, 10}}, "[nx, ny, nz]"},
+			{"target on amr", ulba.WorkloadSpec{Name: "amr", Target: 1.5}, "no target knob"},
 		}
 		for _, c := range cases {
 			if _, err := c.spec.Workload(); err == nil || !strings.Contains(err.Error(), c.errPart) {

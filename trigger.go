@@ -87,6 +87,31 @@ func (t ScheduleTrigger) New() RuntimeTrigger {
 	return &lb.FixedSchedule{Iters: t.Schedule}
 }
 
+// ImbalanceObserver is optionally implemented by runtime trigger state
+// machines that consume the per-iteration weighted load imbalance
+// WLI = (max-avg)/avg of the per-PE compute times. The runner feeds
+// ObserveImbalance right after Observe on every iteration; triggers that
+// do not implement it are unaffected — the WLI is computed out-of-band
+// from the pure weight function and costs no simulated time.
+type ImbalanceObserver = lb.ImbalanceObserver
+
+// WLITrigger fires when the weighted load imbalance WLI = (max-avg)/avg of
+// the per-PE compute times exceeds Threshold — the redistribute-on-tolerance
+// policy of GAMER's LB_EstimateLoadImbalance. Unlike the time-based triggers
+// it reacts to the *shape* of the load, not its cost: a perfectly overlapped
+// but skewed iteration fires it, and a uniformly slow one never does. The
+// WLI of every iteration is also recorded on the result timeline, trigger or
+// not, so runs can report imbalance without balancing on it.
+type WLITrigger struct {
+	Threshold float64 // fire when WLI exceeds this; must be positive
+}
+
+// Name returns "wli".
+func (WLITrigger) Name() string { return "wli" }
+
+// New returns a fresh WLI comparator.
+func (t WLITrigger) New() RuntimeTrigger { return &lb.WLIThreshold{Threshold: t.Threshold} }
+
 // TriggerFactory constructs a trigger with its default configuration.
 type TriggerFactory func() Trigger
 
@@ -148,6 +173,7 @@ func init() {
 	mustRegisterTrigger("menon", func() Trigger { return MenonTrigger{} })
 	mustRegisterTrigger("periodic", func() Trigger { return PeriodicTrigger{Every: 10} })
 	mustRegisterTrigger("never", func() Trigger { return NeverTrigger{} })
+	mustRegisterTrigger("wli", func() Trigger { return WLITrigger{Threshold: 0.25} })
 	// The replay trigger registers with an empty plan (it then never
 	// fires); callers configure the schedule, typically through
 	// WithPlanner, which installs it automatically.

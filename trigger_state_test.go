@@ -17,6 +17,7 @@ type triggerCase struct {
 	trigger        ulba.Trigger
 	times          []float64
 	thresholds     []float64
+	wli            []float64 // optional per-step WLI fed via ObserveImbalance
 	wantFire       []bool
 	resetAfterFire bool
 }
@@ -129,6 +130,29 @@ func triggerCases(t *testing.T) []triggerCase {
 			wantFire:   []bool{false, false, false, false, false, false, false, false},
 		},
 		{
+			// The WLI comparator fires whenever the last observed
+			// imbalance exceeds its threshold, is reset by the balancer
+			// running, and ignores the iteration times and the LB-cost
+			// threshold entirely.
+			name:           "wli",
+			trigger:        ulba.WLITrigger{Threshold: 0.25},
+			times:          repeat(1, 6),
+			thresholds:     repeat(inf, 6),
+			wli:            []float64{0.1, 0.2, 0.3, 0.1, 0.4, 0.2},
+			wantFire:       []bool{false, false, true, false, true, false},
+			resetAfterFire: true,
+		},
+		{
+			// Without ObserveImbalance feeds the trigger never fires: it
+			// reacts to the shape of the load, not its cost — huge
+			// iteration times alone are not imbalance.
+			name:       "wli",
+			trigger:    fromRegistry("wli"),
+			times:      ramp(10, 10, 5),
+			thresholds: repeat(0, 5),
+			wantFire:   []bool{false, false, false, false, false},
+		},
+		{
 			// Schedule replay: entries 2 and 5 fire after the 2nd and
 			// 5th observed iterations, regardless of the thresholds.
 			name:           "schedule",
@@ -158,6 +182,14 @@ func playTrigger(t *testing.T, tc triggerCase) []bool {
 	got := make([]bool, len(tc.times))
 	for i, obs := range tc.times {
 		rt.Observe(obs)
+		if tc.wli != nil {
+			// The runner's contract: ObserveImbalance follows Observe.
+			obs, ok := rt.(ulba.ImbalanceObserver)
+			if !ok {
+				t.Fatalf("%s: trigger does not implement ImbalanceObserver", tc.name)
+			}
+			obs.ObserveImbalance(tc.wli[i])
+		}
 		got[i] = rt.ShouldFire(tc.thresholds[i])
 		if got[i] && tc.resetAfterFire {
 			rt.Reset()

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"ulba/internal/imbalance"
 	"ulba/internal/stats"
 	"ulba/internal/trace"
 )
@@ -415,6 +416,270 @@ func (w OutlierWorkload) Instantiate(p int) (int, func(int, int) float64, error)
 	}, nil
 }
 
+// MiniFEWorkload reproduces the box-decomposition skew of miniFE's problem
+// setup: an Nx*Ny*Nz hexahedral grid is split over p near-cubic blocks with
+// integer ceil/floor widths, so whenever a block count does not divide its
+// grid dimension the blocks own different row counts — the rows-per-proc
+// imbalance miniFE's imbalance.hpp reports as "(min/max vs avg)%". Every
+// item of a PE block carries weight proportional to the block's row count,
+// normalized so the mean item weight is Base; the load is stationary, so a
+// correct trigger balances exactly once and a policy that keeps firing is
+// paying C for nothing.
+type MiniFEWorkload struct {
+	ItemsPerPE int     // items per PE; <= 0 selects 64
+	Nx, Ny, Nz int     // global grid dimensions; <= 0 selects 61 each
+	Base       float64 // mean item weight; 0 selects 1
+	Seed       uint64  // permutes the block-to-PE assignment
+}
+
+// Name returns "minife".
+func (MiniFEWorkload) Name() string { return "minife" }
+
+func (w MiniFEWorkload) dims() (nx, ny, nz int) {
+	nx, ny, nz = w.Nx, w.Ny, w.Nz
+	if nx <= 0 {
+		nx = 61
+	}
+	if ny <= 0 {
+		ny = 61
+	}
+	if nz <= 0 {
+		nz = 61
+	}
+	return nx, ny, nz
+}
+
+// Instantiate binds the workload to p PEs.
+func (w MiniFEWorkload) Instantiate(p int) (int, func(int, int) float64, error) {
+	if err := checkPositive("minife", p, w.Base, 0); err != nil {
+		return 0, nil, err
+	}
+	nx, ny, nz := w.dims()
+	px, py, pz := imbalance.BoxFactors(p)
+	if nx < px || ny < py || nz < pz {
+		return 0, nil, fmt.Errorf("ulba: minife workload: grid %dx%dx%d too small for the %dx%dx%d box decomposition of %d PEs",
+			nx, ny, nz, px, py, pz, p)
+	}
+	base := w.Base
+	if base == 0 {
+		base = 1
+	}
+	blockRows := imbalance.BoxRows(nx, ny, nz, px, py, pz)
+	// Per-item weight of a block: the block's share of the grid, scaled so
+	// the mean item weight across the machine is Base.
+	scale := base * float64(p) / float64(nx*ny*nz)
+	blockW := make([]float64, p)
+	perm := stats.NewRNG(w.Seed ^ 0x6d696e69).Perm(p)
+	for i, b := range perm {
+		blockW[i] = float64(blockRows[b]) * scale
+	}
+	perPE, items := itemsFor(w.ItemsPerPE, p)
+	return items, func(item, _ int) float64 {
+		return blockW[item/perPE]
+	}, nil
+}
+
+// Model expresses the stationary box skew in Table I terms; see
+// stationaryModel for why every planner yields the empty schedule here.
+func (w MiniFEWorkload) Model(cfg RuntimeConfig) (ModelParams, error) {
+	return stationaryModel(w, cfg)
+}
+
+// AMRWorkload models a GAMER-style adaptive-mesh-refinement load: every
+// item is a patch at a refinement level in [0, Levels), a patch at level l
+// updates 2^l times as often as a root patch (GAMER's NUpdateLv weighting),
+// and the refinement front — the region of deepest refinement — drifts
+// across the domain at Drift domain-fractions per iteration, dragging the
+// expensive patches from PE block to PE block. The per-rank imbalance this
+// produces is exactly the weighted load imbalance WLI = (max-avg)/avg that
+// GAMER's LB_EstimateLoadImbalance measures; pair the workload with the
+// "wli" trigger for the exemplar's redistribute-on-tolerance policy.
+type AMRWorkload struct {
+	ItemsPerPE int     // items per PE; <= 0 selects 64
+	Levels     int     // refinement levels; <= 0 selects 4, max 16
+	Base       float64 // weight of a level-0 patch; 0 selects 1
+	Spread     float64 // +- uniform fraction around Base; 0 selects 0.2
+	Drift      float64 // front movement in domain fractions per iteration; 0 selects 0.004
+	Seed       uint64
+}
+
+// Name returns "amr".
+func (AMRWorkload) Name() string { return "amr" }
+
+// Instantiate binds the workload to p PEs.
+func (w AMRWorkload) Instantiate(p int) (int, func(int, int) float64, error) {
+	if err := checkPositive("amr", p, w.Base, w.Spread); err != nil {
+		return 0, nil, err
+	}
+	if w.Levels < 0 || w.Levels > 16 {
+		return 0, nil, fmt.Errorf("ulba: amr workload: Levels = %d out of [1, 16]", w.Levels)
+	}
+	if w.Drift < 0 || w.Drift > 1 {
+		return 0, nil, fmt.Errorf("ulba: amr workload: Drift = %g out of [0, 1]", w.Drift)
+	}
+	levels := w.Levels
+	if levels == 0 {
+		levels = 4
+	}
+	drift := w.Drift
+	if drift == 0 {
+		drift = 0.004
+	}
+	base, spread := w.Base, w.Spread
+	if base == 0 {
+		base = 1
+	}
+	if spread == 0 {
+		spread = 0.2
+	}
+	_, items := itemsFor(w.ItemsPerPE, p)
+	bw := baseWeights(base, spread, w.Seed)
+	center0 := stats.HashUniform(w.Seed, 0x414d52)
+	return items, func(item, iter int) float64 {
+		pos := (float64(item) + 0.5) / float64(items)
+		center := center0 + drift*float64(iter)
+		center -= math.Floor(center)
+		level := imbalance.FrontLevel(pos, center, levels)
+		return bw(item) * imbalance.LevelWeight(level)
+	}, nil
+}
+
+// Model expresses the AMR load in Table I terms; see stationaryModel — the
+// analytic model describes imbalance accruing linearly on top of a balanced
+// partition, so a *moving* refinement front is invisible to it and planners
+// yield the empty schedule. The reactive triggers are the policies that
+// engage this workload.
+func (w AMRWorkload) Model(cfg RuntimeConfig) (ModelParams, error) {
+	return stationaryModel(w, cfg)
+}
+
+// TargetImbalanceWorkload reproduces the cluster-dlb-benchmarks synthetic
+// generator: per-PE-block work is drawn at random but constrained to hit an
+// exact imbalance — the heaviest block carries Target times the average
+// (see imbalance.TargetPartition). Every Period iterations the partition is
+// redrawn with a fresh seed, so the overloaded block jumps around the
+// machine the way the benchmark's slow rank moves between runs. Reactive
+// policies must re-detect the hot spot after every jump; the imbalance
+// magnitude itself is exactly dialed in, which makes the workload the
+// natural calibration input for trigger thresholds.
+type TargetImbalanceWorkload struct {
+	ItemsPerPE int     // items per PE; <= 0 selects 64
+	Target     float64 // block imbalance max/avg; 0 selects 1.5, must be in [1, p]
+	Period     int     // iterations between redraws; <= 0 selects 32
+	Base       float64 // mean item weight; 0 selects 1
+	Seed       uint64
+}
+
+// Name returns "target".
+func (TargetImbalanceWorkload) Name() string { return "target" }
+
+// Instantiate binds the workload to p PEs.
+func (w TargetImbalanceWorkload) Instantiate(p int) (int, func(int, int) float64, error) {
+	if err := checkPositive("target", p, w.Base, 0); err != nil {
+		return 0, nil, err
+	}
+	target := w.Target
+	if target == 0 {
+		target = 1.5
+	}
+	if target > float64(p) {
+		return 0, nil, fmt.Errorf("ulba: target workload: imbalance %g not reachable on %d PEs (max/avg is at most p)",
+			target, p)
+	}
+	base := w.Base
+	if base == 0 {
+		base = 1
+	}
+	period := w.Period
+	if period <= 0 {
+		period = 32
+	}
+	// Probe the generator once so invalid targets fail here, not mid-run.
+	if _, err := imbalance.TargetPartition(p, base, target, w.Seed); err != nil {
+		return 0, nil, fmt.Errorf("ulba: target workload: %w", err)
+	}
+	perPE, items := itemsFor(w.ItemsPerPE, p)
+	seed := w.Seed
+	// Draws are memoized per redraw index: the partition is a pure
+	// function of (seed, draw), so concurrent ranks computing the same
+	// draw race only on identical values and the cache just avoids
+	// re-running the generator per item.
+	draws := &targetDrawCache{draws: map[int][]float64{}}
+	return items, func(item, iter int) float64 {
+		return draws.blockWeights(iter/period, p, base, target, seed)[item/perPE]
+	}, nil
+}
+
+// Model expresses the target-imbalance draws in Table I terms; see
+// stationaryModel — a standing (re-drawn) skew has no linear drift for the
+// model to anticipate, so planners yield the empty schedule.
+func (w TargetImbalanceWorkload) Model(cfg RuntimeConfig) (ModelParams, error) {
+	return stationaryModel(w, cfg)
+}
+
+// targetDrawCache memoizes the per-block weights of each redraw of a
+// TargetImbalanceWorkload. Values are deterministic in (seed, draw), so the
+// cache is transparent; the mutex only serializes map access from
+// concurrently simulated ranks.
+type targetDrawCache struct {
+	mu    sync.Mutex
+	draws map[int][]float64
+}
+
+func (c *targetDrawCache) blockWeights(draw, p int, base, target float64, seed uint64) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bw, ok := c.draws[draw]; ok {
+		return bw
+	}
+	drawSeed := stats.Mix64(seed ^ 0x74677462616c ^ uint64(draw)*0x9e3779b97f4a7c15)
+	parts, err := imbalance.TargetPartition(p, base, target, drawSeed)
+	if err != nil {
+		// Unreachable: Instantiate validated the arguments.
+		panic(err)
+	}
+	// The generator pins the worst block to the last slot; a per-draw
+	// permutation moves the hot spot around the machine.
+	bw := make([]float64, p)
+	perm := stats.NewRNG(drawSeed ^ 0x7065726d).Perm(p)
+	for i, b := range perm {
+		bw[i] = parts[b]
+	}
+	c.draws[draw] = bw
+	return bw
+}
+
+// stationaryModel expresses a workload without modeled drift in Table I
+// terms: the iteration-0 total workload, no overloading PEs, zero growth.
+// The analytic model of the paper describes imbalance *accruing* from
+// linear drift on top of a balanced partition; a standing skew (miniFE
+// boxes, target-imbalance draws) or a moving refinement front (AMR) is
+// invisible to it, so every planner yields the empty schedule — there is
+// nothing for anticipation to anticipate, and the reactive triggers
+// (degradation, menon, wli) are the policies that engage these workloads.
+func stationaryModel(w Workload, cfg RuntimeConfig) (ModelParams, error) {
+	items, weight, err := w.Instantiate(cfg.P)
+	if err != nil {
+		return ModelParams{}, err
+	}
+	cfg = cfg.Normalized()
+	if items != cfg.Items {
+		return ModelParams{}, fmt.Errorf("ulba: workload %q models %d items, config has %d", w.Name(), items, cfg.Items)
+	}
+	w0 := 0.0
+	for j := 0; j < items; j++ {
+		w0 += weight(j, 0)
+	}
+	return ModelParams{
+		P:     cfg.P,
+		N:     0,
+		Gamma: cfg.Iterations,
+		W0:    w0 * cfg.FlopPerUnit,
+		Omega: cfg.Cost.FLOPS,
+		C:     estimateLBCost(cfg),
+	}, nil
+}
+
 // TraceWorkload replays a recorded weight matrix: row i holds the per-item
 // weights of iteration i. Iterations beyond the trace clamp to the last
 // row. It is the bridge from measured applications to the scenario engine:
@@ -575,4 +840,7 @@ func init() {
 	mustRegisterWorkload("bursty", func() Workload { return BurstyWorkload{} })
 	mustRegisterWorkload("outlier", func() Workload { return OutlierWorkload{} })
 	mustRegisterWorkload("trace", func() Workload { return DemoTraceWorkload() })
+	mustRegisterWorkload("minife", func() Workload { return MiniFEWorkload{} })
+	mustRegisterWorkload("amr", func() Workload { return AMRWorkload{} })
+	mustRegisterWorkload("target", func() Workload { return TargetImbalanceWorkload{} })
 }

@@ -1,0 +1,248 @@
+package ulba_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ulba"
+	"ulba/internal/imbalance"
+)
+
+// Tests for the three exemplar-derived workloads (minife, amr, target) and
+// the heterogeneous-cluster behaviour they exercise: stationarity, skew,
+// exact target imbalance, the WLI channel through the public Timeline, and
+// the non-uniform optimum a speed vector induces.
+
+// blockLoads sums weight over p equal blocks at iteration iter.
+func blockLoads(p, items int, weight func(int, int) float64, iter int) []float64 {
+	loads := make([]float64, p)
+	perPE := items / p
+	for j := 0; j < items; j++ {
+		loads[j/perPE] += weight(j, iter)
+	}
+	return loads
+}
+
+func TestMiniFEWorkloadIsStationarySkew(t *testing.T) {
+	const p = 8
+	w := ulba.MiniFEWorkload{Seed: 11}
+	items, weight, err := w.Instantiate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items%p != 0 {
+		t.Fatalf("items %d not a multiple of p", items)
+	}
+	// Stationary: the weight of every item is iteration-independent.
+	for j := 0; j < items; j += 7 {
+		if weight(j, 0) != weight(j, 50) {
+			t.Fatalf("item %d weight changed across iterations", j)
+		}
+	}
+	// The box decomposition of the default 61^3 grid across 8 PEs is
+	// uneven: the block loads must not all be equal, and the mean item
+	// weight stays at Base.
+	loads := blockLoads(p, items, weight, 0)
+	if imbalance.WLI(loads) <= 0 {
+		t.Fatal("61^3 over 8 PEs decomposed with zero imbalance")
+	}
+	sum := 0.0
+	for j := 0; j < items; j++ {
+		sum += weight(j, 0)
+	}
+	if mean := sum / float64(items); math.Abs(mean-1) > 1e-9 {
+		t.Fatalf("mean item weight %v, want Base=1", mean)
+	}
+	// Same seed, same decomposition; different seed permutes blocks.
+	_, weight2, err := ulba.MiniFEWorkload{Seed: 11}.Instantiate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weight(0, 0) != weight2(0, 0) {
+		t.Fatal("same seed produced a different decomposition")
+	}
+}
+
+func TestMiniFEWorkloadRejectsTinyGrid(t *testing.T) {
+	w := ulba.MiniFEWorkload{Nx: 2, Ny: 2, Nz: 2}
+	if _, _, err := w.Instantiate(64); err == nil {
+		t.Fatal("2^3 grid over 64 PEs accepted")
+	}
+}
+
+func TestAMRWorkloadFrontMoves(t *testing.T) {
+	const p = 8
+	w := ulba.AMRWorkload{Seed: 3}
+	items, weight, err := w.Instantiate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refinement front concentrates load: some block dominates.
+	if imbalance.WLI(blockLoads(p, items, weight, 0)) <= 0 {
+		t.Fatal("refinement front produced a flat load")
+	}
+	// The front drifts: the load distribution at a distant iteration
+	// differs from iteration 0.
+	l0, l1 := blockLoads(p, items, weight, 0), blockLoads(p, items, weight, 400)
+	moved := false
+	for r := range l0 {
+		if math.Abs(l0[r]-l1[r]) > 1e-9 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("refinement front never moved")
+	}
+	// Total work is conserved... not exactly (levels shift), but every
+	// weight stays positive and finite.
+	for j := 0; j < items; j++ {
+		if v := weight(j, 123); !(v > 0) || math.IsInf(v, 0) {
+			t.Fatalf("item %d iter 123: weight %v", j, v)
+		}
+	}
+}
+
+func TestTargetImbalanceWorkloadHitsTargetExactly(t *testing.T) {
+	for _, target := range []float64{1.0, 1.25, 1.5, 2.0, 3.5} {
+		const p = 4
+		w := ulba.TargetImbalanceWorkload{Target: target, Seed: 9}
+		items, weight, err := w.Instantiate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Within each period the block loads are constant and their
+		// max/avg equals the requested target exactly (to fp tolerance).
+		for _, iter := range []int{0, 31, 32, 100} {
+			loads := blockLoads(p, items, weight, iter)
+			maxL, avg := 0.0, 0.0
+			for _, l := range loads {
+				avg += l
+				if l > maxL {
+					maxL = l
+				}
+			}
+			avg /= float64(p)
+			if got := maxL / avg; math.Abs(got-target) > 1e-9 {
+				t.Fatalf("target %g iter %d: max/avg = %v", target, iter, got)
+			}
+		}
+		// The draw redraws at the period boundary (for target > 1 the
+		// permutation or pieces almost surely change) but stays constant
+		// within a period.
+		if weight(0, 0) != weight(0, 31) {
+			t.Fatalf("target %g: weights changed within a period", target)
+		}
+	}
+}
+
+func TestTargetImbalanceWorkloadRejectsBadTarget(t *testing.T) {
+	if _, _, err := (ulba.TargetImbalanceWorkload{Target: 9}).Instantiate(4); err == nil {
+		t.Fatal("target 9 on 4 PEs accepted")
+	}
+	if _, _, err := (ulba.TargetImbalanceWorkload{Target: 0.5}).Instantiate(4); err == nil {
+		t.Fatal("target below 1 accepted")
+	}
+}
+
+// The public Timeline must expose the WLI trace, and on a never-balanced
+// run it must equal the brute-force (max-avg)/avg of the block loads.
+func TestRuntimeTimelineWLIMatchesBruteForce(t *testing.T) {
+	const p, iters = 4, 30
+	w := ulba.AMRWorkload{Seed: 5}
+	exp, err := ulba.NewRuntime(p,
+		ulba.WithWorkload(w), ulba.WithIterations(iters),
+		ulba.WithTrigger(ulba.NeverTrigger{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	if len(tl.WLI) != iters {
+		t.Fatalf("WLI trace has %d entries, want %d", len(tl.WLI), iters)
+	}
+	items, weight, err := w.Instantiate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iters; i++ {
+		want := imbalance.WLI(blockLoads(p, items, weight, i))
+		if math.Abs(tl.WLI[i]-want) > 1e-12*(1+want) {
+			t.Fatalf("iter %d: timeline WLI %v, want %v", i, tl.WLI[i], want)
+		}
+	}
+	if tl.MeanWLI() <= 0 {
+		t.Fatal("AMR run reported zero mean WLI")
+	}
+}
+
+// A heterogeneous cluster has a deliberately non-uniform optimum: the LB
+// step gives the fast PE speed-proportionally more items, and the perfect-
+// knowledge bound beats the homogeneous cluster's.
+func TestHeterogeneousSpeedsShiftOptimum(t *testing.T) {
+	const p, iters = 4, 40
+	run := func(speeds []float64) ulba.RuntimeResult {
+		opts := []ulba.Option{
+			ulba.WithWorkload(ulba.StationaryWorkload{Spread: 0.05, Seed: 2}),
+			ulba.WithIterations(iters),
+		}
+		if speeds != nil {
+			opts = append(opts, ulba.WithSpeeds(speeds))
+		}
+		exp, err := ulba.NewRuntime(p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	het := run([]float64{1, 1, 1, 3})
+	hom := run(nil)
+	if het.PerfectTime >= hom.PerfectTime {
+		t.Fatalf("heterogeneous bound %v not below homogeneous %v", het.PerfectTime, hom.PerfectTime)
+	}
+	b := het.Timeline.FinalBounds
+	counts := make([]int, p)
+	for r := 0; r < p; r++ {
+		counts[r] = b[r+1] - b[r]
+	}
+	if counts[3] <= counts[0] || counts[3] <= counts[1] || counts[3] <= counts[2] {
+		t.Fatalf("fast PE did not get the largest share: %v", counts)
+	}
+}
+
+func TestNewRuntimeRejectsBadSpeeds(t *testing.T) {
+	if _, err := ulba.NewRuntime(4, ulba.WithWorkload(ulba.StationaryWorkload{}),
+		ulba.WithSpeeds([]float64{1, 2})); err == nil {
+		t.Fatal("2 speeds for 4 PEs accepted")
+	}
+}
+
+// The wli trigger must be rejected without a positive threshold and must
+// work end to end through the public runtime when configured.
+func TestWLITriggerThroughRuntime(t *testing.T) {
+	if _, err := ulba.NewRuntime(4, ulba.WithWorkload(ulba.LinearWorkload{}),
+		ulba.WithTrigger(ulba.WLITrigger{})); err == nil {
+		t.Fatal("wli trigger with zero threshold accepted")
+	}
+	exp, err := ulba.NewRuntime(4,
+		ulba.WithWorkload(ulba.LinearWorkload{Seed: 7}),
+		ulba.WithIterations(80),
+		ulba.WithTrigger(ulba.WLITrigger{Threshold: 0.05}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.LBCount() == 0 {
+		t.Fatal("wli trigger never fired on a drifting load")
+	}
+}
