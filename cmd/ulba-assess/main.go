@@ -1,0 +1,137 @@
+// Command ulba-assess ranks load-balancing criteria — runtime triggers and
+// model-planned schedules — against the perfect-knowledge bound over a
+// sampled scenario set, after the assessment methodology of
+// arXiv:2104.01688: every criterion runs the exact same scenarios, and the
+// ranking orders them by mean efficiency (perfect time / achieved time),
+// with regret measured against the panel's best.
+//
+// With no -criteria, the default panel is every registered trigger at its
+// registry defaults. A criterion spelled plan:NAME plans the schedule on
+// the analytic model with the named planner instead of reacting at runtime.
+//
+// Examples:
+//
+//	ulba-assess -n 32
+//	ulba-assess -criteria degradation,menon,wli,plan:sigma+
+//	ulba-assess -n 64 -workers 8 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"ulba"
+	"ulba/internal/cli"
+	"ulba/internal/trace"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	os.Exit(1)
+}
+
+func usageErr(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 16, "sampled scenarios per criterion")
+		seed     = flag.Uint64("seed", 2019, "scenario-sampling seed")
+		criteria = flag.String("criteria", "", "comma-separated criteria: trigger names and plan:PLANNER entries (empty: every registered trigger)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel assessment-cell workers")
+		list     = flag.Bool("list-criteria", false, "print the default criteria panel and exit")
+		jsonOut  = flag.Bool("json", false, "print one JSON object per criterion on stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range ulba.DefaultCriteria() {
+			fmt.Println(c.DisplayName())
+		}
+		return
+	}
+
+	panel, err := parseCriteria(*criteria)
+	if err != nil {
+		usageErr(err)
+	}
+	scenarios := cli.BuildAssessmentScenarios(*seed, *n)
+	a, err := ulba.NewAssessment(panel, scenarios, ulba.WithWorkers(*workers))
+	if err != nil {
+		usageErr(err)
+	}
+
+	start := time.Now()
+	summary, _, err := a.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Rank by mean efficiency, best first; ties keep declaration order,
+	// matching the summary's Best rule.
+	ranked := append([]ulba.CriterionScore(nil), summary.Criteria...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].MeanEfficiency > ranked[j].MeanEfficiency
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, row := range ranked {
+			if err := enc.Encode(row); err != nil {
+				fatal("json:", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "assessment: %d criteria x %d scenarios, best %s (%.2fs real)\n",
+			len(summary.Criteria), summary.Scenarios, summary.Best, elapsed.Seconds())
+		return
+	}
+
+	fmt.Printf("Criteria assessment: %d criteria x %d scenarios, %d workers (%.2fs real)\n\n",
+		len(summary.Criteria), summary.Scenarios, *workers, elapsed.Seconds())
+	tab := trace.NewTable("criterion", "efficiency", "gain", "LB calls", "WLI", "regret")
+	for _, row := range ranked {
+		tab.AddRow(row.Name,
+			fmt.Sprintf("%.1f%%", row.MeanEfficiency*100),
+			fmt.Sprintf("%+.2f%%", row.MeanGain*100),
+			fmt.Sprintf("%.1f", row.MeanLBCalls),
+			fmt.Sprintf("%.3f", row.MeanWLI),
+			fmt.Sprintf("%.4f", row.Regret))
+	}
+	tab.Render(os.Stdout)
+	fmt.Printf("\nbest: %s (highest mean efficiency against the perfect-knowledge bound)\n", summary.Best)
+}
+
+// parseCriteria turns the -criteria flag into a panel: each entry is a
+// registered trigger name, or plan:NAME for a model-planned schedule under
+// the named planner. Empty selects the default panel.
+func parseCriteria(s string) ([]ulba.Criterion, error) {
+	if strings.TrimSpace(s) == "" {
+		return ulba.DefaultCriteria(), nil
+	}
+	var out []ulba.Criterion
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if planner, ok := strings.CutPrefix(name, "plan:"); ok {
+			out = append(out, ulba.Criterion{Planner: &ulba.PlannerSpec{Name: planner}})
+			continue
+		}
+		out = append(out, ulba.Criterion{Trigger: &ulba.TriggerSpec{Name: name}})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-criteria %q names no criteria", s)
+	}
+	return out, nil
+}

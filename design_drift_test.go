@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ulba"
+	"ulba/internal/engine"
 	"ulba/internal/server"
 )
 
@@ -98,7 +99,7 @@ func TestAPIRegistriesListingMatchesCode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row := regexp.MustCompile(`^\s*"(planners|triggers|workloads)": \[([^\]]*)\]`)
+	row := regexp.MustCompile(`^\s*"(planners|triggers|workloads|engines)": \[([^\]]*)\]`)
 	documented := map[string][]string{}
 	for _, line := range strings.Split(string(data), "\n") {
 		m := row.FindStringSubmatch(line)
@@ -113,10 +114,44 @@ func TestAPIRegistriesListingMatchesCode(t *testing.T) {
 		"planners":  ulba.PlannerNames(),
 		"triggers":  ulba.TriggerNames(),
 		"workloads": ulba.WorkloadNames(),
+		"engines":   engine.TypeNames(),
 	} {
 		if !reflect.DeepEqual(documented[kind], registered) {
 			t.Errorf("API.md registries example lists %s %v, registry has %v", kind, documented[kind], registered)
 		}
+	}
+}
+
+// TestDesignEngineTableMatchesRegistry pins DESIGN.md's engine table —
+// rows of the form | `type` | `POST /endpoint` | ... — to the live engine
+// registry: every registered engine needs a row with its exact endpoint,
+// and the table may not describe an engine that does not exist. An engine
+// registration cannot land without its documentation row following.
+func TestDesignEngineTableMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `([a-z-]+)` +\\| `POST ([^`]+)` ")
+	documented := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = m[2]
+		}
+	}
+	for _, d := range engine.Engines() {
+		endpoint, ok := documented[d.Type]
+		if !ok {
+			t.Errorf("DESIGN.md engine table has no row for registered engine %q", d.Type)
+			continue
+		}
+		if endpoint != d.Endpoint {
+			t.Errorf("DESIGN.md engine table maps %q to %q, registry serves it at %q", d.Type, endpoint, d.Endpoint)
+		}
+		delete(documented, d.Type)
+	}
+	for stale := range documented {
+		t.Errorf("DESIGN.md engine table documents %q, which is not a registered engine", stale)
 	}
 }
 

@@ -153,6 +153,24 @@ func WarmupDisabled(t ulba.Trigger) bool {
 	}
 }
 
+// BuildAssessmentScenarios samples n assessment scenario columns from the
+// seed: the same pinned SampleSynthScenarios sequence BuildScenarios draws,
+// expressed as scenario specs so every assessment criterion constructs its
+// own runs over one shared column set. The trace workload has no seed knob,
+// so its columns replay the registry default recording.
+func BuildAssessmentScenarios(seed uint64, n int) []ulba.AssessmentScenario {
+	scens := instance.NewGenerator(seed).SampleSynthScenarios(ulba.WorkloadNames(), n)
+	out := make([]ulba.AssessmentScenario, len(scens))
+	for i, sc := range scens {
+		spec := &ulba.WorkloadSpec{Name: sc.Workload}
+		if sc.Workload != "trace" {
+			spec.Seed = sc.Seed
+		}
+		out[i] = ulba.AssessmentScenario{P: sc.P, Iterations: sc.Iterations, Workload: spec}
+	}
+	return out
+}
+
 // BuildScenarios samples n runtime scenarios (cycling every registered
 // workload) from the seed and turns them into ready-to-run
 // RuntimeExperiments under the default degradation trigger. It is the

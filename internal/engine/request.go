@@ -5,7 +5,13 @@
 // registries the in-process builders do. Responses marshal the library's
 // result types as-is — the golden tests pin a served body bit-identical to
 // the in-process result.
-package server
+//
+// The field order of every request struct is part of the serving contract:
+// the content address hashes the canonical value's JSON, which marshals
+// struct fields in declaration order. Reordering a field here would silently
+// re-key every cached result.
+
+package engine
 
 import (
 	"fmt"
@@ -14,17 +20,18 @@ import (
 	"ulba/internal/cli"
 )
 
-// sampleSpec asks the server to draw the inputs itself from the pinned
+// SampleSpec asks the server to draw the inputs itself from the pinned
 // generators: Table II instances for the model sweep (ulba.SampleInstances),
-// the registered-workload scenario mix for the runtime sweep
-// (internal/cli.BuildScenarios). Sampling is seed-deterministic, so a
-// sampled request is as cacheable as an explicit one.
-type sampleSpec struct {
+// the registered-workload scenario mix for the runtime sweep and the
+// assessment engine (internal/cli.BuildScenarios). Sampling is
+// seed-deterministic, so a sampled request is as cacheable as an explicit
+// one.
+type SampleSpec struct {
 	Seed uint64 `json:"seed"`
 	N    int    `json:"n"`
 }
 
-func (s *sampleSpec) validate(what string) error {
+func (s *SampleSpec) validate(what string) error {
 	if s.N <= 0 {
 		return fmt.Errorf("sample.n must be positive, got %d", s.N)
 	}
@@ -38,9 +45,9 @@ func (s *sampleSpec) validate(what string) error {
 // single call cannot pin the server for minutes or balloon the cache.
 const maxBatch = 100000
 
-// modelSpec is the wire form of ulba.ModelParams (Table I). delta_w may be
+// ModelSpec is the wire form of ulba.ModelParams (Table I). delta_w may be
 // omitted: it is then derived as a*P + m*N, the only value Validate accepts.
-type modelSpec struct {
+type ModelSpec struct {
 	P      int     `json:"p"`
 	N      int     `json:"n"`
 	Gamma  int     `json:"gamma"`
@@ -53,7 +60,7 @@ type modelSpec struct {
 	C      float64 `json:"c"`
 }
 
-func (m modelSpec) params() ulba.ModelParams {
+func (m ModelSpec) params() ulba.ModelParams {
 	p := ulba.ModelParams{
 		P: m.P, N: m.N, Gamma: m.Gamma,
 		W0: m.W0, DeltaW: m.DeltaW, A: m.A, M: m.M,
@@ -65,12 +72,12 @@ func (m modelSpec) params() ulba.ModelParams {
 	return p
 }
 
-// sweepRequest is the body of POST /v1/sweep: a batch of model instances —
+// SweepRequest is the body of POST /v1/sweep: a batch of model instances —
 // explicit, sampled, or both concatenated (explicit first) — evaluated by
 // the Sweep engine.
-type sweepRequest struct {
-	Instances []modelSpec       `json:"instances,omitempty"`
-	Sample    *sampleSpec       `json:"sample,omitempty"`
+type SweepRequest struct {
+	Instances []ModelSpec       `json:"instances,omitempty"`
+	Sample    *SampleSpec       `json:"sample,omitempty"`
 	AlphaGrid int               `json:"alpha_grid,omitempty"`
 	Planner   *ulba.PlannerSpec `json:"planner,omitempty"`
 
@@ -85,7 +92,7 @@ type sweepRequest struct {
 // plus server-side sampling) is infallible once validation passed and is
 // deferred into the compute path, so a cache hit never pays the O(n)
 // generation cost of the batch it did not need.
-func (r sweepRequest) build() (sweep *ulba.Sweep, n int, materialize func() []ulba.ModelParams, err error) {
+func (r SweepRequest) build() (sweep *ulba.Sweep, n int, materialize func() []ulba.ModelParams, err error) {
 	if len(r.Instances) == 0 && r.Sample == nil {
 		return nil, 0, nil, fmt.Errorf("sweep request needs instances, sample, or both")
 	}
@@ -131,17 +138,17 @@ func (r sweepRequest) build() (sweep *ulba.Sweep, n int, materialize func() []ul
 
 // canonical strips the fields that cannot change the result (worker count,
 // delivery mode), so requests differing only there share one cache entry.
-func (r sweepRequest) canonical() sweepRequest {
+func (r SweepRequest) canonical() SweepRequest {
 	r.Workers = 0
 	r.Stream = false
 	return r
 }
 
-// experimentRequest is the body of POST /v1/experiment: one erosion
+// ExperimentRequest is the body of POST /v1/experiment: one erosion
 // application run (optionally with its standard-method baseline) under the
 // paper's defaults, overridden field by field. Pointer fields distinguish
 // "omitted" from an explicit zero.
-type experimentRequest struct {
+type ExperimentRequest struct {
 	P             int      `json:"p"`
 	Method        string   `json:"method,omitempty"` // "standard" (default) or "ulba"
 	Alpha         *float64 `json:"alpha,omitempty"`
@@ -155,13 +162,13 @@ type experimentRequest struct {
 
 	Trigger *ulba.TriggerSpec `json:"trigger,omitempty"`
 	Planner *ulba.PlannerSpec `json:"planner,omitempty"`
-	Model   *modelSpec        `json:"model,omitempty"`
+	Model   *ModelSpec        `json:"model,omitempty"`
 
 	Compare bool `json:"compare,omitempty"`
 	Workers int  `json:"workers,omitempty"`
 }
 
-func (r experimentRequest) build() (*ulba.Experiment, error) {
+func (r ExperimentRequest) build() (*ulba.Experiment, error) {
 	opts := []ulba.Option{ulba.WithWorkers(r.Workers)}
 	switch r.Method {
 	case "", "standard":
@@ -201,7 +208,7 @@ func (r experimentRequest) build() (*ulba.Experiment, error) {
 	return ulba.New(r.P, opts...)
 }
 
-func (r experimentRequest) canonical() experimentRequest {
+func (r ExperimentRequest) canonical() ExperimentRequest {
 	r.Workers = 0
 	return r
 }
@@ -210,7 +217,7 @@ func (r experimentRequest) canonical() experimentRequest {
 // planner spec plus optional model — onto options, shared by the experiment
 // and runtime endpoints. The builders themselves enforce the
 // planner/trigger mutual exclusion and the planner-needs-model rule.
-func appendPolicy(opts []ulba.Option, ts *ulba.TriggerSpec, ps *ulba.PlannerSpec, ms *modelSpec) ([]ulba.Option, error) {
+func appendPolicy(opts []ulba.Option, ts *ulba.TriggerSpec, ps *ulba.PlannerSpec, ms *ModelSpec) ([]ulba.Option, error) {
 	if ts != nil {
 		t, err := ts.Trigger()
 		if err != nil {
@@ -231,15 +238,15 @@ func appendPolicy(opts []ulba.Option, ts *ulba.TriggerSpec, ps *ulba.PlannerSpec
 	return opts, nil
 }
 
-// runtimeRequest is the body of POST /v1/runtime (and one element of a
+// RuntimeRequest is the body of POST /v1/runtime (and one element of a
 // runtime-sweep batch): one synthetic scenario on the simulated cluster.
-type runtimeRequest struct {
+type RuntimeRequest struct {
 	P          int                `json:"p"`
 	Iterations int                `json:"iterations,omitempty"`
 	Workload   *ulba.WorkloadSpec `json:"workload,omitempty"`
 	Trigger    *ulba.TriggerSpec  `json:"trigger,omitempty"`
 	Planner    *ulba.PlannerSpec  `json:"planner,omitempty"`
-	Model      *modelSpec         `json:"model,omitempty"`
+	Model      *ModelSpec         `json:"model,omitempty"`
 	// Speeds makes the simulated cluster heterogeneous: PE r computes at
 	// speeds[r] times the reference rate (ulba.WithSpeeds). Length must
 	// equal p; omitted means homogeneous.
@@ -247,7 +254,7 @@ type runtimeRequest struct {
 	Workers int       `json:"workers,omitempty"`
 }
 
-func (r runtimeRequest) build() (*ulba.RuntimeExperiment, error) {
+func (r RuntimeRequest) build() (*ulba.RuntimeExperiment, error) {
 	opts := []ulba.Option{ulba.WithWorkers(r.Workers)}
 	if r.Iterations != 0 {
 		opts = append(opts, ulba.WithIterations(r.Iterations))
@@ -269,17 +276,17 @@ func (r runtimeRequest) build() (*ulba.RuntimeExperiment, error) {
 	return ulba.NewRuntime(r.P, opts...)
 }
 
-func (r runtimeRequest) canonical() runtimeRequest {
+func (r RuntimeRequest) canonical() RuntimeRequest {
 	r.Workers = 0
 	return r
 }
 
-// runtimeSweepRequest is the body of POST /v1/runtime-sweep: a batch of
+// RuntimeSweepRequest is the body of POST /v1/runtime-sweep: a batch of
 // scenarios — explicit, sampled from the pinned scenario mix, or both
 // concatenated (explicit first) — run by the RuntimeSweep engine.
-type runtimeSweepRequest struct {
-	Scenarios []runtimeRequest `json:"scenarios,omitempty"`
-	Sample    *sampleSpec      `json:"sample,omitempty"`
+type RuntimeSweepRequest struct {
+	Scenarios []RuntimeRequest `json:"scenarios,omitempty"`
+	Sample    *SampleSpec      `json:"sample,omitempty"`
 	Workers   int              `json:"workers,omitempty"`
 	Stream    bool             `json:"stream,omitempty"`
 }
@@ -294,7 +301,7 @@ const runtimeSweepBatch = 4096
 // (cli.BuildScenarios constructs a RuntimeExperiment per scenario) is
 // deferred into the compute path, so a cache hit skips it; a sampling
 // failure there is a server bug and correctly surfaces as a 500.
-func (r runtimeSweepRequest) build() (sweep *ulba.RuntimeSweep, n int, materialize func() ([]*ulba.RuntimeExperiment, error), err error) {
+func (r RuntimeSweepRequest) build() (sweep *ulba.RuntimeSweep, n int, materialize func() ([]*ulba.RuntimeExperiment, error), err error) {
 	if len(r.Scenarios) == 0 && r.Sample == nil {
 		return nil, 0, nil, fmt.Errorf("runtime-sweep request needs scenarios, sample, or both")
 	}
@@ -335,8 +342,8 @@ func (r runtimeSweepRequest) build() (sweep *ulba.RuntimeSweep, n int, materiali
 	}, nil
 }
 
-func (r runtimeSweepRequest) canonical() runtimeSweepRequest {
-	scens := make([]runtimeRequest, len(r.Scenarios))
+func (r RuntimeSweepRequest) canonical() RuntimeSweepRequest {
+	scens := make([]RuntimeRequest, len(r.Scenarios))
 	for i, sc := range r.Scenarios {
 		scens[i] = sc.canonical()
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ulba/internal/cluster"
+	"ulba/internal/engine"
 	"ulba/internal/jobs"
 )
 
@@ -82,7 +83,9 @@ func postURL(t *testing.T, url, path, body string) *http.Response {
 }
 
 // goldenRequests is one request per engine endpoint, used to pin the
-// cluster's byte-identity contract.
+// cluster's byte-identity contract. clusterGoldenRequests derives the
+// served paths from the registry, so registering an engine without a row
+// here fails TestClusterGoldenByteIdentity immediately.
 var goldenRequests = []struct {
 	name, path, body string
 }{
@@ -90,6 +93,27 @@ var goldenRequests = []struct {
 	{"sweep", "/v1/sweep", `{"sample":{"seed":2019,"n":20},"alpha_grid":11}`},
 	{"runtime", "/v1/runtime", `{"p":4,"iterations":40,"workload":{"name":"linear","seed":3},"trigger":{"name":"periodic","every":8}}`},
 	{"runtime-sweep", "/v1/runtime-sweep", `{"sample":{"seed":5,"n":3}}`},
+	{"assess", "/v1/assess", `{"criteria":[{"trigger":{"name":"degradation"}},{"trigger":{"name":"never"}}],"sample":{"seed":4,"n":2}}`},
+}
+
+// clusterGoldenRequests checks goldenRequests against the engine registry
+// and returns it: every registered engine must have exactly one row.
+func clusterGoldenRequests(t *testing.T) []struct{ name, path, body string } {
+	t.Helper()
+	rows := map[string]bool{}
+	for _, req := range goldenRequests {
+		rows[req.name] = true
+	}
+	for _, d := range engine.Engines() {
+		if !rows[d.Type] {
+			t.Fatalf("goldenRequests has no row for registered engine %q", d.Type)
+		}
+		delete(rows, d.Type)
+	}
+	for stale := range rows {
+		t.Fatalf("goldenRequests row %q names no registered engine", stale)
+	}
+	return goldenRequests
 }
 
 // TestClusterGoldenByteIdentity pins the tentpole contract: a 3-replica
@@ -99,7 +123,7 @@ var goldenRequests = []struct {
 func TestClusterGoldenByteIdentity(t *testing.T) {
 	_, standalone := newTestServer(t)
 	nodes := newTestCluster(t, 3, 2, nil)
-	for _, req := range goldenRequests {
+	for _, req := range clusterGoldenRequests(t) {
 		resp := post(t, standalone, req.path, req.body)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: standalone status = %d", req.name, resp.StatusCode)

@@ -1,0 +1,16 @@
+package server
+
+import "ulba/internal/engine"
+
+// The request/response wire types moved to internal/engine with the generic
+// core; the long-standing server tests predate the move and refer to them
+// by their old unexported names. Aliasing here keeps those tests verbatim —
+// itself evidence that the refactor changed no wire shape.
+type (
+	runtimeRequest       = engine.RuntimeRequest
+	experimentResponse   = engine.ExperimentResponse
+	sweepResponse        = engine.SweepResponse
+	runtimeResponse      = engine.RuntimeResponse
+	runtimeSweepResponse = engine.RuntimeSweepResponse
+	sweepStreamTail      = engine.SweepStreamTail
+)

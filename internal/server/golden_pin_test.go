@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The refactor pin: testdata/engine_golden holds, for every legacy request
+// type, the exact served body and content address captured before the
+// engines moved behind the generic engine core. The fixtures were generated
+// once from the pre-refactor handlers (ULBA_WRITE_GOLDEN=1 regenerates them,
+// which is only legitimate when the serving contract itself changes
+// deliberately) and the test asserts the current path reproduces them byte
+// for byte — first a guard over the refactor, afterwards a regression pin.
+
+// goldenPinCases are the pinned requests: one per legacy engine type, small
+// enough to run in every CI leg while covering the spec knobs (sampling,
+// explicit scenarios, planner/trigger/workload configuration, heterogeneous
+// speeds).
+var goldenPinCases = []struct {
+	name     string
+	typ      string
+	endpoint string
+	request  string
+}{
+	{
+		name:     "experiment",
+		typ:      "experiment",
+		endpoint: "/v1/experiment",
+		request:  `{"p":4,"iterations":12,"method":"ulba","seed":3}`,
+	},
+	{
+		name:     "sweep",
+		typ:      "sweep",
+		endpoint: "/v1/sweep",
+		request:  `{"sample":{"seed":7,"n":25},"alpha_grid":17}`,
+	},
+	{
+		name:     "runtime",
+		typ:      "runtime",
+		endpoint: "/v1/runtime",
+		request:  `{"p":4,"iterations":40,"workload":{"name":"amr","seed":7},"trigger":{"name":"wli","threshold":0.2},"speeds":[1,2.5,1,4]}`,
+	},
+	{
+		name:     "runtime-sweep",
+		typ:      "runtime-sweep",
+		endpoint: "/v1/runtime-sweep",
+		request:  `{"scenarios":[{"p":4,"iterations":30,"workload":{"name":"target","seed":9,"target":1.5},"planner":{"name":"periodic","every":5}}],"sample":{"seed":5,"n":3}}`,
+	},
+}
+
+// goldenPinRecord is the manifest entry pinning one request: its content
+// address and the SHA-256 of the served body (the body bytes themselves live
+// in the sibling .body file).
+type goldenPinRecord struct {
+	Endpoint string          `json:"endpoint"`
+	Type     string          `json:"type"`
+	Request  json.RawMessage `json:"request"`
+	Key      string          `json:"key"`
+	BodySHA  string          `json:"body_sha256"`
+}
+
+// servePinned computes one pinned case on a fresh memory-only server and
+// returns the served body plus the content address the server filed it
+// under. The key is read from the job-status surface, so the probe works
+// identically before and after the engine-core refactor.
+func servePinned(t *testing.T, typ, endpoint, request string) (body []byte, key string) {
+	t.Helper()
+	_, ts := newTestServer(t)
+	resp := post(t, ts, endpoint, request)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d: %s", endpoint, resp.StatusCode, readAll(t, resp))
+	}
+	body = readAll(t, resp)
+	// The result is cached now, so the job finishes as a hit; its accepted
+	// status carries the canonical content address.
+	st := submitJob(t, ts, typ, request)
+	awaitJob(t, ts, st.ID)
+	return body, st.Key
+}
+
+func TestEngineGoldenPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine runs in -short mode")
+	}
+	write := os.Getenv("ULBA_WRITE_GOLDEN") != ""
+	dir := filepath.Join("testdata", "engine_golden")
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range goldenPinCases {
+		t.Run(c.name, func(t *testing.T) {
+			manifestPath := filepath.Join(dir, c.name+".json")
+			bodyPath := filepath.Join(dir, c.name+".body")
+			body, key := servePinned(t, c.typ, c.endpoint, c.request)
+			sha := fmt.Sprintf("%x", sha256.Sum256(body))
+			if write {
+				rec := goldenPinRecord{
+					Endpoint: c.endpoint,
+					Type:     c.typ,
+					Request:  json.RawMessage(c.request),
+					Key:      key,
+					BodySHA:  sha,
+				}
+				buf, err := json.MarshalIndent(rec, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(manifestPath, append(buf, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(bodyPath, body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d body bytes, key %s)", manifestPath, len(body), key)
+				return
+			}
+			raw, err := os.ReadFile(manifestPath)
+			if err != nil {
+				t.Fatalf("missing golden fixture (generate with ULBA_WRITE_GOLDEN=1): %v", err)
+			}
+			var rec goldenPinRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				t.Fatal(err)
+			}
+			if rec.Key != key {
+				t.Errorf("cache key drifted: served under %s, pinned %s", key, rec.Key)
+			}
+			if sha != rec.BodySHA {
+				t.Errorf("body SHA-256 drifted: served %s, pinned %s", sha, rec.BodySHA)
+			}
+			want, err := os.ReadFile(bodyPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("served body (%d bytes) is not bit-identical to the pinned body (%d bytes)", len(body), len(want))
+			}
+		})
+	}
+}

@@ -1,12 +1,12 @@
-// The asynchronous job surface: POST /v1/jobs accepts any of the four
-// engine request types and answers immediately with a job id; the job then
-// computes through the same content-addressed cache, store, and engine
-// semaphore as the synchronous endpoints, so a job's result bytes are
-// bit-identical to the synchronous response for the same request — the
-// determinism contract extended across time.
+// The asynchronous job surface: POST /v1/jobs accepts any registered engine
+// request type and answers immediately with a job id; the job then computes
+// through the same content-addressed cache, store, and engine semaphore as
+// the synchronous endpoints, so a job's result bytes are bit-identical to
+// the synchronous response for the same request — the determinism contract
+// extended across time.
 //
-// Sweep-shaped jobs (sweep, runtime-sweep) feed per-instance progress from
-// the engines' Stream machinery and append every completed instance to the
+// Batch-shaped jobs (sweep, runtime-sweep, assess) feed per-unit progress
+// from the engines' Batch machinery and append every completed unit to the
 // store's checkpoint file for the job's key. The checkpoint lines are
 // exactly the NDJSON stream lines, so one format serves three purposes:
 // live progress events (GET /v1/jobs/{id}/stream), durable partial state
@@ -14,7 +14,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -22,12 +21,12 @@ import (
 	"net/http"
 	"sync/atomic"
 
-	"ulba"
+	"ulba/internal/engine"
 	"ulba/internal/jobs"
 )
 
 // jobUnitHook, when set, runs after every freshly computed unit a
-// sweep-shaped job checkpoints. Tests use it to park a job mid-run (until
+// batch-shaped job checkpoints. Tests use it to park a job mid-run (until
 // its context is cancelled), turning crash/cancel races that would
 // otherwise depend on scheduler timing into deterministic sequences.
 var jobUnitHook atomic.Pointer[func(ctx context.Context)]
@@ -53,94 +52,43 @@ type jobTask struct {
 	run     jobs.RunFunc
 }
 
-// jobTypes lists the accepted submission types, mirroring the four
-// synchronous engine endpoints.
-const jobTypes = `"experiment", "sweep", "runtime", or "runtime-sweep"`
-
-// buildJobTask validates a submission into a runnable task. Validation
-// errors surface as 400s at submit time, never inside the job.
+// buildJobTask validates a submission against the engine registry into a
+// runnable task. Validation errors surface as 400s at submit time, never
+// inside the job. A batch engine gets the checkpointing runner; a unary
+// engine recomputes whole on restart.
 func (s *Server) buildJobTask(sub jobSubmission) (jobTask, error) {
 	if len(sub.Request) == 0 {
 		return jobTask{}, fmt.Errorf("job submission needs a request object")
 	}
-	switch sub.Type {
-	case "experiment":
-		var req experimentRequest
-		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
-			return jobTask{}, err
-		}
-		exp, err := req.build()
-		if err != nil {
-			return jobTask{}, err
-		}
-		return s.unaryTask(sub.Type, "/v1/experiment", req.canonical(), 1, experimentCompute(exp, req.Compare))
-	case "runtime":
-		var req runtimeRequest
-		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
-			return jobTask{}, err
-		}
-		exp, err := req.build()
-		if err != nil {
-			return jobTask{}, err
-		}
-		return s.unaryTask(sub.Type, "/v1/runtime", req.canonical(), 1, runtimeCompute(exp))
-	case "sweep":
-		var req sweepRequest
-		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
-			return jobTask{}, err
-		}
-		sweep, n, materialize, err := req.build()
-		if err != nil {
-			return jobTask{}, err
-		}
-		key, err := cacheKey("/v1/sweep", req.canonical())
-		if err != nil {
-			return jobTask{}, err
-		}
-		task := jobTask{typ: sub.Type, key: key, total: n, compute: sweepCompute(sweep, materialize)}
-		task.run = s.checkpointedRun(key, func(ctx context.Context, j *jobs.Job) ([]byte, error) {
-			return s.sweepJobBody(ctx, j, key, sweep, materialize)
-		})
-		return task, nil
-	case "runtime-sweep":
-		var req runtimeSweepRequest
-		if err := decodeStrict(bytes.NewReader(sub.Request), &req); err != nil {
-			return jobTask{}, err
-		}
-		sweep, n, materialize, err := req.build()
-		if err != nil {
-			return jobTask{}, err
-		}
-		key, err := cacheKey("/v1/runtime-sweep", req.canonical())
-		if err != nil {
-			return jobTask{}, err
-		}
-		task := jobTask{typ: sub.Type, key: key, total: n, compute: runtimeSweepCompute(sweep, materialize)}
-		task.run = s.checkpointedRun(key, func(ctx context.Context, j *jobs.Job) ([]byte, error) {
-			return s.runtimeSweepJobBody(ctx, j, key, sweep, materialize)
-		})
-		return task, nil
-	default:
-		return jobTask{}, fmt.Errorf("unknown job type %q (want %s)", sub.Type, jobTypes)
+	d, ok := engine.ByType(sub.Type)
+	if !ok {
+		return jobTask{}, fmt.Errorf("unknown job type %q (want %s)", sub.Type, engine.TypeList())
 	}
-}
-
-// unaryTask wraps a single-unit compute (experiment, runtime) as a job:
-// the whole computation is one unit, so progress is 0 -> 1 and there is no
-// checkpoint — a restarted single run recomputes.
-func (s *Server) unaryTask(typ, endpoint string, canonical any, total int, compute func(ctx context.Context) (any, error)) (jobTask, error) {
-	key, err := cacheKey(endpoint, canonical)
+	inst, err := d.Decode(sub.Request)
 	if err != nil {
 		return jobTask{}, err
 	}
-	run := func(ctx context.Context, j *jobs.Job) error {
+	key, err := inst.Key()
+	if err != nil {
+		return jobTask{}, err
+	}
+	task := jobTask{typ: sub.Type, key: key, total: inst.Units(), compute: inst.Run}
+	if b := inst.NewBatch(); b != nil {
+		task.run = s.checkpointedRun(key, func(ctx context.Context, j *jobs.Job) ([]byte, error) {
+			return s.batchJobBody(ctx, j, key, b)
+		})
+		return task, nil
+	}
+	// Unary engine: the whole computation is one unit, so progress is
+	// 0 -> total and there is no checkpoint.
+	task.run = func(ctx context.Context, j *jobs.Job) error {
 		_, _, err := s.cache.Do(ctx, key, func() ([]byte, error) {
-			j.Begin(total, 0)
-			return s.computeBody(ctx, key, compute)
+			j.Begin(task.total, 0)
+			return s.computeBody(ctx, key, inst.Run)
 		})
 		return err
 	}
-	return jobTask{typ: typ, key: key, total: total, compute: compute, run: run}, nil
+	return task, nil
 }
 
 // checkpointedRun wraps a checkpoint-aware body renderer as a job runner.
@@ -159,37 +107,29 @@ func (s *Server) checkpointedRun(key string, body func(ctx context.Context, j *j
 	}
 }
 
-// collectJob is the shared engine loop of both sweep-shaped job bodies: it
-// restores checkpointed units, reports progress, streams the missing
-// indices through the engine, checkpoints and emits each fresh result, and
-// on a per-unit error aborts the job with the lowest-index error among the
-// results delivered (the abort cancels the stream, whose remaining
-// delivery is best-effort — unlike the synchronous endpoints' guaranteed
-// lowest-index rule). n is the batch size; restore loads checkpointed
-// units into the caller's state and reports which indices it covered;
-// stream opens the engine over the missing (re-indexed) units; line
-// renders the NDJSON line for one index.
-func collectJob[R any](ctx context.Context, s *Server, j *jobs.Job, key string, n int,
-	restore func(have []bool) (resumed int),
-	stream func(ctx context.Context, missing []int) <-chan R,
-	examine func(R) (localIndex int, err error),
-	accept func(R, int),
-	line func(index int) (any, error),
-) error {
-	have := make([]bool, n)
-	resumed := restore(have)
-	j.Begin(n, resumed)
+// batchJobBody renders a batch job's final body: restore checkpointed
+// units, report progress, stream the missing indices through the engine,
+// checkpoint and emit each fresh result, and on a per-unit error abort the
+// job with the lowest-index error among the results delivered (the abort
+// cancels the stream, whose remaining delivery is best-effort — unlike the
+// synchronous endpoints' guaranteed lowest-index rule). The bytes equal the
+// synchronous endpoint's because per-unit evaluation is a pure function of
+// the unit, checkpoint lines round-trip exactly, and aggregation is
+// input-ordered either way.
+func (s *Server) batchJobBody(ctx context.Context, j *jobs.Job, key string, b *engine.Batch) ([]byte, error) {
+	if err := b.Prepare(); err != nil {
+		return nil, err
+	}
+	have := make([]bool, b.N)
+	resumed := s.restoreCheckpoint(key, have, b.Restore)
+	j.Begin(b.N, resumed)
 	for i := range have {
 		if !have[i] {
 			continue
 		}
-		raw, err := line(i)
+		buf, err := json.Marshal(b.Line(i))
 		if err != nil {
-			return err
-		}
-		buf, err := json.Marshal(raw)
-		if err != nil {
-			return err
+			return nil, err
 		}
 		j.Event(buf)
 	}
@@ -200,143 +140,63 @@ func collectJob[R any](ctx context.Context, s *Server, j *jobs.Job, key string, 
 			missing = append(missing, i)
 		}
 	}
-	if len(missing) == 0 {
-		return nil
-	}
-	// One open append handle for the whole run; checkpointing is
-	// best-effort (a failed write only costs recomputation later), so an
-	// open error just disables it.
-	var cp *jobs.Checkpoint
-	if s.store != nil {
-		if c, err := s.store.OpenCheckpoint(key); err == nil {
-			cp = c
-			defer cp.Close()
-		}
-	}
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	delivered := 0
-	var firstErr error
-	firstIdx := -1
-	for r := range stream(runCtx, missing) {
-		delivered++
-		local, err := examine(r)
-		idx := missing[local]
-		if err != nil {
-			if firstIdx < 0 || idx < firstIdx {
-				firstErr, firstIdx = err, idx
+	if len(missing) > 0 {
+		// One open append handle for the whole run; checkpointing is
+		// best-effort (a failed write only costs recomputation later), so
+		// an open error just disables it.
+		var cp *jobs.Checkpoint
+		if s.store != nil {
+			if c, err := s.store.OpenCheckpoint(key); err == nil {
+				cp = c
+				defer cp.Close()
 			}
-			cancel()
-			continue
+		}
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		delivered := 0
+		var firstErr error
+		firstIdx := -1
+		for u := range b.Open(runCtx, missing) {
+			delivered++
+			if u.Err != nil {
+				if firstIdx < 0 || u.Index < firstIdx {
+					firstErr, firstIdx = u.Err, u.Index
+				}
+				cancel()
+				continue
+			}
+			if firstErr != nil {
+				continue
+			}
+			buf, err := json.Marshal(b.Line(u.Index))
+			if err != nil {
+				return nil, err
+			}
+			if cp != nil {
+				cp.Append(buf)
+			}
+			j.Event(buf)
+			j.Advance()
+			if hook := jobUnitHook.Load(); hook != nil {
+				(*hook)(runCtx)
+			}
 		}
 		if firstErr != nil {
-			continue
+			return nil, firstErr
 		}
-		accept(r, idx)
-		raw, err := line(idx)
-		if err != nil {
-			return err
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		buf, err := json.Marshal(raw)
-		if err != nil {
-			return err
-		}
-		if cp != nil {
-			cp.Append(buf)
-		}
-		j.Event(buf)
-		j.Advance()
-		if hook := jobUnitHook.Load(); hook != nil {
-			(*hook)(runCtx)
+		if delivered < len(missing) {
+			return nil, fmt.Errorf("job delivered %d of %d units", delivered, len(missing))
 		}
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if delivered < len(missing) {
-		return fmt.Errorf("job delivered %d of %d units", delivered, len(missing))
-	}
-	return nil
-}
-
-// sweepJobBody renders a sweep job's final body: resume from checkpoint,
-// compute the rest, aggregate in input order. The bytes equal the
-// synchronous endpoint's (sweep.Run marshaled) because per-instance
-// evaluation is a pure function of the instance, checkpoint lines
-// round-trip exactly, and aggregation is input-ordered either way.
-func (s *Server) sweepJobBody(ctx context.Context, j *jobs.Job, key string, sweep *ulba.Sweep, materialize func() []ulba.ModelParams) ([]byte, error) {
-	params := materialize()
-	comps := make([]ulba.Comparison, len(params))
-	err := collectJob(ctx, s, j, key, len(params),
-		func(have []bool) int {
-			return s.restoreCheckpoint(key, have, func(raw []byte) (int, bool) {
-				var line sweepStreamLine
-				if json.Unmarshal(raw, &line) != nil || line.Comparison == nil {
-					return -1, false
-				}
-				if line.Index >= 0 && line.Index < len(comps) {
-					comps[line.Index] = *line.Comparison
-				}
-				return line.Index, true
-			})
-		},
-		func(ctx context.Context, missing []int) <-chan ulba.SweepResult {
-			sub := make([]ulba.ModelParams, len(missing))
-			for i, idx := range missing {
-				sub[i] = params[idx]
-			}
-			return sweep.Stream(ctx, sub)
-		},
-		func(r ulba.SweepResult) (int, error) { return r.Index, r.Err },
-		func(r ulba.SweepResult, idx int) { comps[idx] = r.Comparison },
-		func(idx int) (any, error) { return sweepStreamLine{Index: idx, Comparison: &comps[idx]}, nil },
-	)
+	resp, err := b.Body()
 	if err != nil {
 		return nil, err
 	}
 	// persist (via render) clears the checkpoint once this body lands.
-	return marshalBody(sweepResponse{Summary: ulba.SummarizeSweep(comps), Comparisons: comps})
-}
-
-// runtimeSweepJobBody is sweepJobBody for the scenario engine.
-func (s *Server) runtimeSweepJobBody(ctx context.Context, j *jobs.Job, key string, sweep *ulba.RuntimeSweep, materialize func() ([]*ulba.RuntimeExperiment, error)) ([]byte, error) {
-	exps, err := materialize()
-	if err != nil {
-		return nil, err
-	}
-	results := make([]ulba.RuntimeResult, len(exps))
-	err = collectJob(ctx, s, j, key, len(exps),
-		func(have []bool) int {
-			return s.restoreCheckpoint(key, have, func(raw []byte) (int, bool) {
-				var line runtimeStreamLine
-				if json.Unmarshal(raw, &line) != nil || line.Result == nil {
-					return -1, false
-				}
-				if line.Index >= 0 && line.Index < len(results) {
-					results[line.Index] = *line.Result
-				}
-				return line.Index, true
-			})
-		},
-		func(ctx context.Context, missing []int) <-chan ulba.RuntimeSweepResult {
-			sub := make([]*ulba.RuntimeExperiment, len(missing))
-			for i, idx := range missing {
-				sub[i] = exps[idx]
-			}
-			return sweep.Stream(ctx, sub)
-		},
-		func(r ulba.RuntimeSweepResult) (int, error) { return r.Index, r.Err },
-		func(r ulba.RuntimeSweepResult, idx int) { results[idx] = r.Result },
-		func(idx int) (any, error) { return runtimeStreamLine{Index: idx, Result: &results[idx]}, nil },
-	)
-	if err != nil {
-		return nil, err
-	}
-	// persist (via render) clears the checkpoint once this body lands.
-	return marshalBody(runtimeSweepResponse{Summary: ulba.SummarizeRuntimeSweep(results), Results: results})
+	return marshalBody(resp)
 }
 
 // restoreCheckpoint replays key's checkpoint lines through apply (which
@@ -495,9 +355,8 @@ type jobStreamTail struct {
 
 // handleJobStream replays the job's as-completed NDJSON lines and follows
 // them live until the job finishes, then emits a terminal state line. The
-// lines are exactly the sweep stream lines (index + comparison/result);
-// unary jobs have no per-unit lines, so their stream is the terminal line
-// alone.
+// lines are exactly the engines' stream lines (index + unit); unary jobs
+// have no per-unit lines, so their stream is the terminal line alone.
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.getJob(w, r)
 	if !ok {

@@ -102,55 +102,10 @@ func jobResult(t *testing.T, ts *httptest.Server, id string) (*http.Response, []
 	return resp, readAll(t, resp)
 }
 
-// TestJobBitIdenticalToSync pins the headline acceptance criterion for
-// every engine request type: the asynchronous result bytes equal the
-// synchronous endpoint's response for the same request, computed on a
-// separate server so neither path can borrow the other's cache.
-func TestJobBitIdenticalToSync(t *testing.T) {
-	cases := []struct {
-		typ      string
-		endpoint string
-		request  string
-	}{
-		{"sweep", "/v1/sweep", `{"sample":{"seed":21,"n":40},"alpha_grid":17}`},
-		{"runtime", "/v1/runtime", `{"p":4,"iterations":30,"workload":{"name":"bursty","seed":2},"trigger":{"name":"menon"}}`},
-		{"runtime-sweep", "/v1/runtime-sweep", `{"sample":{"seed":6,"n":3}}`},
-		{"experiment", "/v1/experiment", `{"p":4,"iterations":25,"method":"ulba","seed":3,"compare":true}`},
-	}
-	for _, c := range cases {
-		t.Run(c.typ, func(t *testing.T) {
-			if c.typ == "experiment" && testing.Short() {
-				t.Skip("erosion run in -short mode")
-			}
-			_, syncTS, _ := newStoreServer(t, "", Config{})
-			syncResp := post(t, syncTS, c.endpoint, c.request)
-			if syncResp.StatusCode != http.StatusOK {
-				t.Fatalf("sync status = %d", syncResp.StatusCode)
-			}
-			want := readAll(t, syncResp)
-
-			_, jobTS, _ := newStoreServer(t, t.TempDir(), Config{})
-			st := submitJob(t, jobTS, c.typ, c.request)
-			if st.Type != c.typ || st.Key == "" {
-				t.Fatalf("accepted status = %+v", st)
-			}
-			done := awaitJob(t, jobTS, st.ID)
-			if done.State != jobs.StateDone {
-				t.Fatalf("job = %+v", done)
-			}
-			if done.Progress.Completed != done.Progress.Total || done.Progress.Total == 0 {
-				t.Fatalf("progress = %+v", done.Progress)
-			}
-			resp, got := jobResult(t, jobTS, st.ID)
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("result status = %d", resp.StatusCode)
-			}
-			if !bytes.Equal(got, want) {
-				t.Fatalf("job result (%d bytes) is not bit-identical to the synchronous response (%d bytes)", len(got), len(want))
-			}
-		})
-	}
-}
+// The sync-vs-job byte-identity property these files used to pin per
+// engine type now lives in the cross-engine conformance harness
+// (TestConformanceSyncJobByteIdentity), which derives its table from the
+// engine registry instead of a hand-kept list.
 
 // TestJobSubmitValidation pins the submit-time 4xx surface.
 func TestJobSubmitValidation(t *testing.T) {

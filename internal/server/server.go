@@ -1,21 +1,23 @@
-// Package server is the HTTP/JSON service layer over the four engines of
-// package ulba: Experiment, Sweep, RuntimeExperiment, and RuntimeSweep. The
-// determinism contract (every result is a pure function of its request)
-// makes the engines ideal behind a content-addressed result cache: the
-// server canonicalizes each request, hashes it, and serves repeated or
-// concurrent identical requests from one computation. Sweep endpoints accept
-// batched instance sets and can stream NDJSON results as they complete over
-// the engines' existing Stream machinery.
+// Package server is the HTTP/JSON service layer over the registered engines
+// of internal/engine (experiment, sweep, runtime, runtime-sweep, assess —
+// all built on package ulba). The layer is engine-generic: one handler
+// serves every engine's sync endpoint, one job runner serves every engine's
+// async path, and the cluster hooks route by content address alone, so a
+// new engine costs a registration, not a subsystem. The determinism
+// contract (every result is a pure function of its request) makes the
+// engines ideal behind a content-addressed result cache: the server
+// canonicalizes each request, hashes it, and serves repeated or concurrent
+// identical requests from one computation. Batch engines accept instance or
+// scenario sets and can stream NDJSON results as they complete.
 //
 // cmd/ulba-serve wraps this package into a deployable binary; API.md is the
-// HTTP reference, and the "Service layer" section of DESIGN.md documents the
-// cache-key, single-flight, and streaming contracts.
+// HTTP reference, and the "Service layer" and "Generic engine core"
+// sections of DESIGN.md document the cache-key, single-flight, and
+// streaming contracts.
 package server
 
 import (
-	"bytes"
 	"context"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +30,7 @@ import (
 
 	"ulba"
 	"ulba/internal/cluster"
+	"ulba/internal/engine"
 	"ulba/internal/jobs"
 	"ulba/internal/metrics"
 )
@@ -197,10 +200,11 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /v1/registries", s.handleRegistries)
 	s.route("GET /v1/stats", s.handleStats)
-	s.route("POST /v1/experiment", s.handleExperiment)
-	s.route("POST /v1/sweep", s.handleSweep)
-	s.route("POST /v1/runtime", s.handleRuntime)
-	s.route("POST /v1/runtime-sweep", s.handleRuntimeSweep)
+	// Every registered engine mounts the same generic handler; the
+	// registration order is the mount order.
+	for _, d := range engine.Engines() {
+		s.route("POST "+d.Endpoint, s.handleEngine(d))
+	}
 	s.route("POST /v1/jobs", s.handleJobSubmit)
 	s.route("GET /v1/jobs", s.handleJobList)
 	s.route("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -371,29 +375,11 @@ func readBody(r *http.Request) ([]byte, error) {
 }
 
 // decodeStrict is decode over any reader — the same rules applied to the
-// nested request object of a job submission.
+// nested request object of a job submission and the cluster protocol
+// bodies. Engine request decoding shares the rule through
+// engine.DecodeStrict.
 func decodeStrict(rd io.Reader, into any) error {
-	dec := json.NewDecoder(rd)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return fmt.Errorf("invalid request body: %w", err)
-	}
-	if dec.More() {
-		return fmt.Errorf("invalid request body: trailing data after the JSON object")
-	}
-	return nil
-}
-
-// cacheKey derives the content address of a canonicalized request:
-// endpoint-scoped SHA-256 over its deterministic JSON encoding (struct
-// fields marshal in declaration order, so equal requests hash equally).
-func cacheKey(endpoint string, canonical any) (string, error) {
-	buf, err := json.Marshal(canonical)
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(append([]byte(endpoint+"\n"), buf...))
-	return fmt.Sprintf("%x", sum), nil
+	return engine.DecodeStrict(rd, into)
 }
 
 // render runs one rendering function under an engine slot and persists the
@@ -461,6 +447,45 @@ func (s *Server) computeBody(ctx context.Context, key string, compute func(ctx c
 	})
 }
 
+// handleEngine is the one synchronous handler every registered engine
+// mounts: read, decode (strict parse + validation, 400 on failure), then
+// either the cached unary path or — for a batch engine asked to stream —
+// the NDJSON path. No engine-specific code lives here; the engine's
+// Descriptor carries everything the serving layer needs.
+func (s *Server) handleEngine(d *engine.Descriptor) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		raw, err := readBody(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		inst, err := d.Decode(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if inst.Stream() {
+			b := inst.NewBatch()
+			// Materialization failures (server-side sampling) are server
+			// bugs, not client errors: 500, before any stream bytes.
+			if err := b.Prepare(); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			// Streams always compute (they bypass the cache), so they
+			// always need an admission token, held for the whole stream.
+			if !s.admit() {
+				s.writeShed(w)
+				return
+			}
+			defer s.releaseAdmission()
+			s.streamBatch(w, r, b)
+			return
+		}
+		s.serveCached(w, r, raw, inst)
+	}
+}
+
 // serveCached answers one unary engine request through the cache: compute
 // runs at most once per content address across concurrent and repeated
 // requests, under an engine slot. The cached body is fully rendered, so
@@ -468,8 +493,8 @@ func (s *Server) computeBody(ctx context.Context, key string, compute func(ctx c
 // cluster, a request whose content address this node does not own is
 // relayed to an owner replica first (raw is the exact client body);
 // determinism makes the relayed bytes identical to a local computation.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, raw []byte, canonical any, compute func(ctx context.Context) (any, error)) {
-	key, err := cacheKey(endpoint, canonical)
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, raw []byte, inst *engine.Instance) {
+	key, err := inst.Key()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -483,7 +508,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		w.Write(body)
 		return
 	}
-	if s.maybeForward(w, r, endpoint, key, raw) {
+	if s.maybeForward(w, r, inst.Endpoint(), key, raw) {
 		return
 	}
 	if !s.admit() {
@@ -493,7 +518,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	defer s.releaseAdmission()
 	ctx := r.Context()
 	body, outcome, err := s.cache.Do(ctx, key, func() ([]byte, error) {
-		return s.computeBody(ctx, key, compute)
+		return s.computeBody(ctx, key, inst.Run)
 	})
 	if err != nil {
 		writeEngineError(w, err)
@@ -504,12 +529,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	w.Write(body)
 }
 
-// registriesResponse lists the registered policy and scenario names, the
-// exact vocabulary the request specs accept.
+// registriesResponse lists the registered policy and scenario names — the
+// exact vocabulary the request specs accept — plus the engine registry
+// itself: the job-submission types, which are also the sync endpoints'
+// path suffixes.
 type registriesResponse struct {
 	Planners  []string `json:"planners"`
 	Triggers  []string `json:"triggers"`
 	Workloads []string `json:"workloads"`
+	Engines   []string `json:"engines"`
 }
 
 func (s *Server) handleRegistries(w http.ResponseWriter, _ *http.Request) {
@@ -518,219 +546,11 @@ func (s *Server) handleRegistries(w http.ResponseWriter, _ *http.Request) {
 		Planners:  ulba.PlannerNames(),
 		Triggers:  ulba.TriggerNames(),
 		Workloads: ulba.WorkloadNames(),
+		Engines:   engine.TypeNames(),
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Stats())
-}
-
-// experimentResponse is the body of POST /v1/experiment. Result (and
-// Baseline, with compare) marshal ulba.RunResult as-is; Gain and
-// CallsAvoided are the MethodComparison derivations, and
-// PredictedTotalTime carries Experiment.PlannedTotalTime for planner-driven
-// runs.
-type experimentResponse struct {
-	Result             ulba.RunResult  `json:"result"`
-	Baseline           *ulba.RunResult `json:"baseline,omitempty"`
-	Gain               *float64        `json:"gain,omitempty"`
-	CallsAvoided       *float64        `json:"calls_avoided,omitempty"`
-	PredictedTotalTime *float64        `json:"predicted_total_time,omitempty"`
-}
-
-func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	raw, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var req experimentRequest
-	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	exp, err := req.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.serveCached(w, r, "/v1/experiment", raw, req.canonical(), experimentCompute(exp, req.Compare))
-}
-
-// experimentCompute renders one experiment (optionally compared) response,
-// shared by POST /v1/experiment and experiment jobs.
-func experimentCompute(exp *ulba.Experiment, compare bool) func(ctx context.Context) (any, error) {
-	return func(ctx context.Context) (any, error) {
-		var resp experimentResponse
-		if compare {
-			cmp, err := exp.Compare(ctx)
-			if err != nil {
-				return nil, err
-			}
-			gain, avoided := cmp.Gain(), cmp.CallsAvoided()
-			resp.Result = cmp.Result
-			resp.Baseline = &cmp.Baseline
-			resp.Gain, resp.CallsAvoided = &gain, &avoided
-		} else {
-			res, err := exp.Run(ctx)
-			if err != nil {
-				return nil, err
-			}
-			resp.Result = res
-		}
-		if t, ok := exp.PlannedTotalTime(); ok {
-			resp.PredictedTotalTime = &t
-		}
-		return resp, nil
-	}
-}
-
-// sweepResponse is the body of a non-streamed POST /v1/sweep: exactly
-// Sweep.Run's summary and input-ordered comparisons, marshaled as-is.
-type sweepResponse struct {
-	Summary     ulba.SweepSummary `json:"summary"`
-	Comparisons []ulba.Comparison `json:"comparisons"`
-}
-
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	raw, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var req sweepRequest
-	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	sweep, n, materialize, err := req.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.Stream {
-		// Streams always compute (they bypass the cache), so they always
-		// need an admission token, held for the whole stream.
-		if !s.admit() {
-			s.writeShed(w)
-			return
-		}
-		defer s.releaseAdmission()
-		streamSweep(w, r, s, n, func(ctx context.Context) <-chan ulba.SweepResult {
-			return sweep.Stream(ctx, materialize())
-		})
-		return
-	}
-	s.serveCached(w, r, "/v1/sweep", raw, req.canonical(), sweepCompute(sweep, materialize))
-}
-
-// sweepCompute renders one unary sweep response, shared by POST /v1/sweep
-// and the non-checkpointing leg of sweep jobs.
-func sweepCompute(sweep *ulba.Sweep, materialize func() []ulba.ModelParams) func(ctx context.Context) (any, error) {
-	return func(ctx context.Context) (any, error) {
-		summary, comps, err := sweep.Run(ctx, materialize())
-		if err != nil {
-			return nil, err
-		}
-		return sweepResponse{Summary: summary, Comparisons: comps}, nil
-	}
-}
-
-// runtimeResponse is the body of POST /v1/runtime: RuntimeResult marshaled
-// as-is plus its two derived figures of merit.
-type runtimeResponse struct {
-	Result     ulba.RuntimeResult `json:"result"`
-	Gain       float64            `json:"gain"`
-	Efficiency float64            `json:"efficiency"`
-}
-
-func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
-	raw, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var req runtimeRequest
-	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	exp, err := req.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.serveCached(w, r, "/v1/runtime", raw, req.canonical(), runtimeCompute(exp))
-}
-
-// runtimeCompute renders one runtime-scenario response, shared by
-// POST /v1/runtime and runtime jobs.
-func runtimeCompute(exp *ulba.RuntimeExperiment) func(ctx context.Context) (any, error) {
-	return func(ctx context.Context) (any, error) {
-		res, err := exp.Run(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return runtimeResponse{Result: res, Gain: res.Gain(), Efficiency: res.Efficiency()}, nil
-	}
-}
-
-// runtimeSweepResponse is the body of a non-streamed POST /v1/runtime-sweep:
-// exactly RuntimeSweep.Run's summary and input-ordered results.
-type runtimeSweepResponse struct {
-	Summary ulba.RuntimeSweepSummary `json:"summary"`
-	Results []ulba.RuntimeResult     `json:"results"`
-}
-
-func (s *Server) handleRuntimeSweep(w http.ResponseWriter, r *http.Request) {
-	raw, err := readBody(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var req runtimeSweepRequest
-	if err := decodeStrict(bytes.NewReader(raw), &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	sweep, n, materialize, err := req.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if req.Stream {
-		exps, err := materialize()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if !s.admit() {
-			s.writeShed(w)
-			return
-		}
-		defer s.releaseAdmission()
-		streamRuntimeSweep(w, r, s, n, func(ctx context.Context) <-chan ulba.RuntimeSweepResult {
-			return sweep.Stream(ctx, exps)
-		})
-		return
-	}
-	s.serveCached(w, r, "/v1/runtime-sweep", raw, req.canonical(), runtimeSweepCompute(sweep, materialize))
-}
-
-// runtimeSweepCompute renders one unary runtime-sweep response, shared by
-// POST /v1/runtime-sweep and the non-checkpointing leg of runtime-sweep
-// jobs.
-func runtimeSweepCompute(sweep *ulba.RuntimeSweep, materialize func() ([]*ulba.RuntimeExperiment, error)) func(ctx context.Context) (any, error) {
-	return func(ctx context.Context) (any, error) {
-		exps, err := materialize()
-		if err != nil {
-			return nil, err
-		}
-		summary, results, err := sweep.Run(ctx, exps)
-		if err != nil {
-			return nil, err
-		}
-		return runtimeSweepResponse{Summary: summary, Results: results}, nil
-	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"ulba"
 	"ulba/internal/cli"
+	"ulba/internal/engine"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -65,6 +66,7 @@ func TestRegistries(t *testing.T) {
 		{"planners", got.Planners, ulba.PlannerNames()},
 		{"triggers", got.Triggers, ulba.TriggerNames()},
 		{"workloads", got.Workloads, ulba.WorkloadNames()},
+		{"engines", got.Engines, engine.TypeNames()},
 	}
 	for _, c := range checks {
 		if fmt.Sprint(c.got) != fmt.Sprint(c.want) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ulba/internal/cluster"
+	"ulba/internal/engine"
 	"ulba/internal/jobs"
 	"ulba/internal/loadgen"
 )
@@ -51,13 +52,15 @@ func scrapeCounts(t *testing.T, baseURL string) map[string]uint64 {
 	return counts
 }
 
-// engineEndpoints are the metric labels of the four engine routes.
-var engineEndpoints = map[string]bool{
-	"POST /v1/experiment":    true,
-	"POST /v1/sweep":         true,
-	"POST /v1/runtime":       true,
-	"POST /v1/runtime-sweep": true,
-}
+// engineEndpoints are the metric labels of the engine routes, derived from
+// the registry so the soak accounting covers every engine automatically.
+var engineEndpoints = func() map[string]bool {
+	m := make(map[string]bool, len(engine.Engines()))
+	for _, d := range engine.Engines() {
+		m["POST "+d.Endpoint] = true
+	}
+	return m
+}()
 
 // TestSoakStandalone is the tentpole soak against one in-process server:
 // a closed-loop run with exact accounting. No request is lost, no body

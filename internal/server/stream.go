@@ -6,11 +6,11 @@ import (
 	"fmt"
 	"net/http"
 
-	"ulba"
+	"ulba/internal/engine"
 )
 
-// NDJSON streaming over the engines' Stream machinery. The contract,
-// shared by both sweep endpoints:
+// NDJSON streaming over the engines' per-unit Batch machinery. The
+// contract, shared by every batch engine:
 //
 //   - Content-Type is application/x-ndjson; each line is one JSON object,
 //     flushed as soon as the engine delivers the result, in completion
@@ -24,32 +24,6 @@ import (
 // Streaming responses bypass the result cache: their line order depends on
 // completion order, so the body is not a deterministic function of the
 // request (only the set of lines and the terminal summary are).
-
-// sweepStreamLine is one per-instance line of a streamed /v1/sweep.
-type sweepStreamLine struct {
-	Index      int              `json:"index"`
-	Comparison *ulba.Comparison `json:"comparison,omitempty"`
-	Error      string           `json:"error,omitempty"`
-}
-
-// sweepStreamTail terminates a streamed /v1/sweep.
-type sweepStreamTail struct {
-	Summary *ulba.SweepSummary `json:"summary,omitempty"`
-	Error   string             `json:"error,omitempty"`
-}
-
-// runtimeStreamLine is one per-scenario line of a streamed /v1/runtime-sweep.
-type runtimeStreamLine struct {
-	Index  int                 `json:"index"`
-	Result *ulba.RuntimeResult `json:"result,omitempty"`
-	Error  string              `json:"error,omitempty"`
-}
-
-// runtimeStreamTail terminates a streamed /v1/runtime-sweep.
-type runtimeStreamTail struct {
-	Summary *ulba.RuntimeSweepSummary `json:"summary,omitempty"`
-	Error   string                    `json:"error,omitempty"`
-}
 
 // ndjsonWriter emits one JSON line per Write and flushes it immediately, so
 // a consumer sees each result the moment the engine completes it.
@@ -84,18 +58,11 @@ func (nw *ndjsonWriter) raw(line []byte) {
 	}
 }
 
-// streamResults is the shared driver of both streaming endpoints: one
+// streamBatch drives one prepared batch over the whole index range: one
 // engine slot for the whole stream, then the per-line contract above. The
-// per-endpoint shape is injected: examine splits an engine result into
-// (index, value, error), line renders one NDJSON line (value nil on a
-// per-item error), and summarize aggregates the collected values for the
-// terminal line.
-func streamResults[R, V any](w http.ResponseWriter, r *http.Request, s *Server, n int,
-	open func(ctx context.Context) <-chan R,
-	examine func(R) (index int, value V, err error),
-	line func(index int, value *V, errMsg string) any,
-	summarize func(values []V) any,
-) {
+// batch renders its own lines and terminal summary, so this driver is
+// engine-agnostic.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, b *engine.Batch) {
 	ctx := r.Context()
 	if err := s.acquire(ctx); err != nil {
 		writeEngineError(w, err)
@@ -105,48 +72,21 @@ func streamResults[R, V any](w http.ResponseWriter, r *http.Request, s *Server, 
 	s.engineRuns.Add(1)
 
 	nw := newNDJSONWriter(w)
-	values := make([]V, n)
+	all := make([]int, b.N)
+	for i := range all {
+		all[i] = i
+	}
 	delivered, failed := 0, 0
-	for res := range open(ctx) {
+	for u := range b.Open(ctx, all) {
 		delivered++
-		idx, v, err := examine(res)
-		if err != nil {
+		if u.Err != nil {
 			failed++
-			nw.line(line(idx, nil, err.Error()))
+			nw.line(b.ErrorLine(u.Index, u.Err.Error()))
 			continue
 		}
-		values[idx] = v
-		nw.line(line(idx, &v, ""))
+		nw.line(b.Line(u.Index))
 	}
-	nw.line(streamTail(ctx, n, delivered, failed, func() any { return summarize(values) }))
-}
-
-// streamSweep drives a streamed /v1/sweep.
-func streamSweep(w http.ResponseWriter, r *http.Request, s *Server, n int, open func(ctx context.Context) <-chan ulba.SweepResult) {
-	streamResults(w, r, s, n, open,
-		func(res ulba.SweepResult) (int, ulba.Comparison, error) { return res.Index, res.Comparison, res.Err },
-		func(idx int, v *ulba.Comparison, errMsg string) any {
-			return sweepStreamLine{Index: idx, Comparison: v, Error: errMsg}
-		},
-		func(comps []ulba.Comparison) any {
-			sum := ulba.SummarizeSweep(comps)
-			return sweepStreamTail{Summary: &sum}
-		})
-}
-
-// streamRuntimeSweep drives a streamed /v1/runtime-sweep.
-func streamRuntimeSweep(w http.ResponseWriter, r *http.Request, s *Server, n int, open func(ctx context.Context) <-chan ulba.RuntimeSweepResult) {
-	streamResults(w, r, s, n, open,
-		func(res ulba.RuntimeSweepResult) (int, ulba.RuntimeResult, error) {
-			return res.Index, res.Result, res.Err
-		},
-		func(idx int, v *ulba.RuntimeResult, errMsg string) any {
-			return runtimeStreamLine{Index: idx, Result: v, Error: errMsg}
-		},
-		func(results []ulba.RuntimeResult) any {
-			sum := ulba.SummarizeRuntimeSweep(results)
-			return runtimeStreamTail{Summary: &sum}
-		})
+	nw.line(streamTail(ctx, b.N, delivered, failed, b.Tail))
 }
 
 // streamTail picks the terminal line: the input-order summary on full

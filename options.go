@@ -25,6 +25,7 @@ const (
 	scopeSweep
 	scopeRuntime
 	scopeRuntimeSweep
+	scopeAssessment
 )
 
 // Option configures an Experiment (see New) or a Sweep (see NewSweep).
@@ -53,9 +54,9 @@ func sharedOption(name string, apply func(*settings) error) Option {
 }
 
 // poolOption marks an option that applies to every builder, including the
-// worker-pool-only RuntimeSweep.
+// worker-pool-only RuntimeSweep and Assessment.
 func poolOption(name string, apply func(*settings) error) Option {
-	return Option{name: name, scope: scopeExperiment | scopeSweep | scopeRuntime | scopeRuntimeSweep, apply: apply}
+	return Option{name: name, scope: scopeExperiment | scopeSweep | scopeRuntime | scopeRuntimeSweep | scopeAssessment, apply: apply}
 }
 
 // runOption marks an option shared by the two run builders (Experiment and
